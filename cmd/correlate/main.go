@@ -1,0 +1,66 @@
+// Command correlate regenerates the paper's evaluation artifacts: Table 1,
+// Figures 3-7 and the simulation-time comparison, printing each in a
+// paper-style layout.
+//
+// Usage:
+//
+//	correlate -exp all [-nodes 256] [-seed 1]
+//	correlate -exp fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("correlate: ")
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, fig7, simtime or all")
+		nodes = flag.Int("nodes", 256, "injection node sample size per campaign")
+		seed  = flag.Int64("seed", 1, "sampling seed")
+		iters = flag.Int("iters", 2, "workload iterations for RTL campaigns")
+	)
+	flag.Parse()
+
+	o := core.ExperimentOptions{Nodes: *nodes, Seed: *seed, Iterations: *iters}
+
+	type renderer interface{ Render() string }
+	run := func(name string, f func() (renderer, error)) {
+		t0 := time.Now()
+		r, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(r.Render())
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	all := *exp == "all"
+	if all || *exp == "table1" {
+		run("table1", func() (renderer, error) { return core.Table1() })
+	}
+	if all || *exp == "fig3" {
+		run("fig3", func() (renderer, error) { return core.Figure3(o) })
+	}
+	if all || *exp == "fig4" {
+		run("fig4", func() (renderer, error) { return core.Figure4(o) })
+	}
+	if all || *exp == "fig5" {
+		run("fig5", func() (renderer, error) { return core.Figure5(o) })
+	}
+	if all || *exp == "fig6" {
+		run("fig6", func() (renderer, error) { return core.Figure6(o) })
+	}
+	if all || *exp == "fig7" {
+		run("fig7", func() (renderer, error) { return core.Figure7(o) })
+	}
+	if all || *exp == "simtime" {
+		run("simtime", func() (renderer, error) { return core.SimTime(o) })
+	}
+}

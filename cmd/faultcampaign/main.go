@@ -1,0 +1,105 @@
+// Command faultcampaign runs an RTL fault-injection campaign on one
+// workload and reports the probability of failure at the off-core
+// boundary, broken down by outcome and functional unit.
+//
+// Usage:
+//
+//	faultcampaign -w ttsprk -target iu -model sa1 -nodes 256 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/core"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/sparc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultcampaign: ")
+	var (
+		name    = flag.String("w", "ttsprk", "workload name ("+strings.Join(core.WorkloadNames(), ", ")+")")
+		iters   = flag.Int("iters", 2, "kernel iterations")
+		dataset = flag.Int("dataset", 0, "input dataset selector")
+		target  = flag.String("target", "iu", "injection target: iu or cmem")
+		model   = flag.String("model", "all", "fault model: sa0, sa1, open or all")
+		nodes   = flag.Int("nodes", 256, "node sample size (0 = exhaustive)")
+		seed    = flag.Int64("seed", 1, "sampling seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		inject  = flag.Uint64("inject-at", 0, "injection instant (cycle)")
+	)
+	flag.Parse()
+
+	spec := core.CampaignSpec{
+		Nodes:         *nodes,
+		Seed:          *seed,
+		Workers:       *workers,
+		InjectAtCycle: *inject,
+	}
+	switch *target {
+	case "iu":
+		spec.Target = core.TargetIU
+	case "cmem":
+		spec.Target = core.TargetCMEM
+	default:
+		log.Fatalf("unknown target %q", *target)
+	}
+	switch *model {
+	case "sa0":
+		spec.Models = []core.FaultModel{core.StuckAt0}
+	case "sa1":
+		spec.Models = []core.FaultModel{core.StuckAt1}
+	case "open":
+		spec.Models = []core.FaultModel{core.OpenLine}
+	case "all":
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+
+	w, err := core.BuildWorkload(*name, core.WorkloadConfig{Iterations: *iters, Dataset: *dataset})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := core.RunCampaign(w, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:   %s, target %v, %d injections in %.1fs\n",
+		w.Name, spec.Target, res.Injections, time.Since(t0).Seconds())
+	fmt.Printf("Pf:         %s of faults propagated to failures\n", report.Percent(res.Pf))
+	if res.MaxLatencyCycles >= 0 {
+		fmt.Printf("latency:    max detection latency %d cycles\n", res.MaxLatencyCycles)
+	}
+
+	counts := fault.OutcomeCounts(res.Results)
+	outs := make([]fault.Outcome, 0, len(counts))
+	for o := range counts {
+		outs = append(outs, o)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	fmt.Printf("outcomes:  ")
+	for _, o := range outs {
+		fmt.Printf(" %v=%d", o, counts[o])
+	}
+	fmt.Println()
+
+	tab := &report.Table{Title: "per-unit Pf (Pmf of Equation 1)", Columns: []string{"unit", "Pf"}}
+	units := make([]sparc.Unit, 0, len(res.PfByUnit))
+	for u := range res.PfByUnit {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, u := range units {
+		tab.AddRow(u.String(), report.Percent(res.PfByUnit[u]))
+	}
+	fmt.Print(tab.String())
+}

@@ -1,0 +1,60 @@
+// Command issrun executes a bundled workload on the functional instruction
+// set simulator and prints its Table-1-style characterization: instruction
+// counts, off-core write count, instruction diversity and per-unit
+// diversity Dm.
+//
+// Usage:
+//
+//	issrun -w rspeed [-iters 4] [-dataset 1] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/core"
+	"repro/internal/iss"
+	"repro/internal/sparc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("issrun: ")
+	var (
+		name    = flag.String("w", "rspeed", "workload name ("+strings.Join(core.WorkloadNames(), ", ")+")")
+		iters   = flag.Int("iters", 0, "kernel iterations (0 = workload default)")
+		dataset = flag.Int("dataset", 0, "input dataset selector")
+		budget  = flag.Uint64("max-insts", 100_000_000, "instruction budget")
+		trace   = flag.Bool("trace", false, "print every executed instruction")
+	)
+	flag.Parse()
+
+	w, err := core.BuildWorkload(*name, core.WorkloadConfig{Iterations: *iters, Dataset: *dataset})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu := core.NewISS(w.Program)
+	if *trace {
+		cpu.OnInst = func(pc uint32, in sparc.Inst) {
+			fmt.Fprintf(os.Stdout, "%08x  %s\n", pc, in.String())
+		}
+	}
+	st := cpu.Run(*budget)
+	if st != iss.StatusExited {
+		log.Fatalf("workload did not exit: %v (trap %#x)", st, cpu.TrapTaken())
+	}
+
+	fmt.Printf("workload:     %s (%v, iterations=%d, dataset=%d)\n", w.Name, w.Kind, w.Config.Iterations, w.Config.Dataset)
+	fmt.Printf("instructions: %d total, %d memory\n", cpu.Icount, cpu.MemoryInstCount())
+	fmt.Printf("off-core:     %d writes, exit code %d\n", len(cpu.Bus.Trace.Writes), cpu.Bus.ExitCode())
+	fmt.Printf("diversity:    %d instruction types\n", cpu.Diversity())
+	ud := cpu.UnitDiversity()
+	fmt.Printf("per-unit Dm: ")
+	for u := sparc.Unit(0); u < sparc.NumUnits; u++ {
+		fmt.Printf(" %s=%d", u, ud[u])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,234 @@
+// Package core is the public API of the ISS-RTL correlation library, a
+// reproduction of "Analysis and RTL Correlation of Instruction Set
+// Simulators for Automotive Microcontroller Robustness Verification"
+// (Espinosa et al., DAC 2015).
+//
+// The library provides, end to end:
+//
+//   - a SPARC V8 functional instruction set simulator (the cheap,
+//     early-design-stage model),
+//   - a LEON3-like RTL microcontroller model with per-bit fault injection
+//     on all signals of its integer unit (IU) and cache memory (CMEM),
+//   - the EEMBC-Autobench-workalike workload suite of the paper,
+//   - the instruction-diversity metric and the Equation-(1) failure
+//     probability model, and
+//   - campaign orchestration reproducing every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := core.BuildWorkload("rspeed", core.WorkloadConfig{Iterations: 2})
+//	prof, _ := core.MeasureDiversity(w)      // ISS run, Table-1 style profile
+//	res, _ := core.RunCampaign(w, core.CampaignSpec{
+//	    Target: core.TargetIU, Models: []core.FaultModel{core.StuckAt1},
+//	    Nodes: 256, Seed: 1,
+//	})
+//	fmt.Printf("diversity=%d Pf=%.1f%%\n", prof.Diversity, 100*res.Pf)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/campaign"
+	"repro/internal/diversity"
+	"repro/internal/fault"
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sparc"
+	"repro/internal/workloads"
+)
+
+// Re-exported building blocks. The aliases give external users access to
+// the full functionality of the internal packages through a single import.
+type (
+	// Workload is an assembled benchmark program.
+	Workload = workloads.Workload
+	// WorkloadConfig selects iteration count and input dataset.
+	WorkloadConfig = workloads.Config
+	// Program is a loadable SPARC V8 memory image.
+	Program = asm.Program
+	// Profile is a Table-1-style workload characterization.
+	Profile = diversity.Profile
+	// FaultModel is a permanent fault model.
+	FaultModel = rtl.FaultModel
+	// Fault is a fault model applied at an RTL node.
+	Fault = rtl.Fault
+	// Node identifies one injectable RTL bit.
+	Node = rtl.Node
+	// Target selects IU or CMEM injection.
+	Target = fault.Target
+	// Outcome classifies one injection experiment.
+	Outcome = fault.Outcome
+	// InjectionResult is the outcome of one experiment.
+	InjectionResult = fault.Result
+	// Unit is a microcontroller functional unit.
+	Unit = sparc.Unit
+	// ISS is the functional instruction set simulator.
+	ISS = iss.CPU
+	// RTL is the LEON3-like RTL core.
+	RTL = leon3.Core
+	// Status is a simulator's terminal state.
+	Status = iss.Status
+)
+
+// Fault models and targets.
+const (
+	StuckAt0 = rtl.StuckAt0
+	StuckAt1 = rtl.StuckAt1
+	OpenLine = rtl.OpenLine
+
+	TargetIU   = fault.TargetIU
+	TargetCMEM = fault.TargetCMEM
+)
+
+// WorkloadNames lists the bundled benchmarks.
+func WorkloadNames() []string { return workloads.Names() }
+
+// BuildWorkload assembles a bundled benchmark.
+func BuildWorkload(name string, cfg WorkloadConfig) (*Workload, error) {
+	return workloads.Build(name, cfg)
+}
+
+// AssembleProgram assembles arbitrary SPARC V8 source at the RAM base.
+func AssembleProgram(src string) (*Program, error) {
+	return asm.Assemble(src, mem.RAMBase)
+}
+
+// NewISS builds a functional simulator loaded with the program.
+func NewISS(p *Program) *ISS {
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	return iss.New(mem.NewBus(m), p.Entry)
+}
+
+// NewRTL builds an RTL core loaded with the program.
+func NewRTL(p *Program) *RTL {
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	return leon3.New(mem.NewBus(m), p.Entry)
+}
+
+// MeasureDiversity runs the workload on the ISS and returns its profile
+// (instruction counts, diversity, per-unit diversity Dm).
+func MeasureDiversity(w *Workload) (Profile, error) {
+	return diversity.Measure(w.Name, w.Program, 100_000_000)
+}
+
+// CampaignSpec configures an RTL fault-injection campaign.
+type CampaignSpec struct {
+	// Target selects the injected unit hierarchy (IU or CMEM).
+	Target Target
+	// Models lists the permanent fault models to apply (default: all).
+	Models []FaultModel
+	// Nodes is the statistical sample size; 0 injects every node.
+	Nodes int
+	// Seed makes sampling reproducible.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// InjectAtCycle is the fixed injection instant.
+	InjectAtCycle uint64
+}
+
+// CampaignResult aggregates an injection campaign.
+type CampaignResult struct {
+	// Pf is the fraction of faults that propagated to failures at the
+	// off-core boundary.
+	Pf float64
+	// PfByUnit groups Pf by functional unit (for Equation 1).
+	PfByUnit map[Unit]float64
+	// MaxLatencyCycles is the largest bounded detection latency.
+	MaxLatencyCycles int64
+	// Results holds every individual experiment.
+	Results []InjectionResult
+	// Injections is the number of experiments performed.
+	Injections int
+}
+
+// RunCampaign executes an RTL fault-injection campaign on a workload.
+func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
+	r, err := fault.NewRunner(w.Program, fault.Options{InjectAtCycle: spec.InjectAtCycle})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nodes := r.Nodes(spec.Target)
+	if spec.Nodes > 0 {
+		nodes = fault.SampleNodes(nodes, spec.Nodes, spec.Seed)
+	}
+	models := spec.Models
+	if len(models) == 0 {
+		models = rtl.FaultModels()
+	}
+	results := r.Campaign(fault.Expand(nodes, models...), spec.Workers)
+	return &CampaignResult{
+		Pf:               fault.Pf(results),
+		PfByUnit:         fault.PfByUnit(results),
+		MaxLatencyCycles: fault.MaxLatency(results),
+		Results:          results,
+		Injections:       len(results),
+	}, nil
+}
+
+// PredictPf estimates a workload's failure probability from its ISS
+// profile alone, using the Equation-(1) area-weighted model with the
+// fitted per-unit log coefficients (a, b). areaWeights typically comes
+// from AreaWeightsIU.
+func PredictPf(prof Profile, areaWeights map[Unit]float64, a, b float64) float64 {
+	pmf := diversity.PredictPmf(prof.UnitDiversity, a, b)
+	return diversity.CombinePf(areaWeights, pmf)
+}
+
+// AreaWeights returns alpha_m for the target: each functional unit's share
+// of the RTL's injectable nodes (the paper's area fraction proxy).
+func AreaWeights(target Target) map[Unit]float64 {
+	c := leon3.New(mem.NewBus(mem.NewMemory()), mem.RAMBase)
+	counts := map[Unit]int{}
+	for _, n := range c.K.Nodes(target.Prefix()) {
+		counts[Unit(c.K.UnitOf(n.Name))]++
+	}
+	return diversity.AreaWeights(counts)
+}
+
+// Experiment entry points (Table 1, Figures 3-7, simulation time). See
+// package repro/internal/campaign for the result types; each result has a
+// Render method that prints the paper-style table or series.
+type (
+	// ExperimentOptions tunes campaign cost versus precision.
+	ExperimentOptions = campaign.Options
+	// Table1Result is the reproduced Table 1.
+	Table1Result = campaign.Table1Result
+	// Fig3Result is Figure 3 (input-data variation).
+	Fig3Result = campaign.Fig3Result
+	// Fig4Result is Figure 4 (iteration scaling).
+	Fig4Result = campaign.Fig4Result
+	// FigPfResult is Figure 5 or 6 (Pf per benchmark and model).
+	FigPfResult = campaign.FigPfResult
+	// Fig7Result is Figure 7 (Pf versus diversity with log fit).
+	Fig7Result = campaign.Fig7Result
+	// SimTimeResult is the §4.2 simulation-time comparison.
+	SimTimeResult = campaign.SimTimeResult
+)
+
+// Table1 reproduces Table 1 on the ISS.
+func Table1() (*Table1Result, error) { return campaign.Table1() }
+
+// Figure3 reproduces Figure 3.
+func Figure3(o ExperimentOptions) (*Fig3Result, error) { return campaign.Figure3(o) }
+
+// Figure4 reproduces Figure 4.
+func Figure4(o ExperimentOptions) (*Fig4Result, error) { return campaign.Figure4(o) }
+
+// Figure5 reproduces Figure 5 (IU nodes).
+func Figure5(o ExperimentOptions) (*FigPfResult, error) { return campaign.Figure5(o) }
+
+// Figure6 reproduces Figure 6 (CMEM nodes).
+func Figure6(o ExperimentOptions) (*FigPfResult, error) { return campaign.Figure6(o) }
+
+// Figure7 reproduces Figure 7.
+func Figure7(o ExperimentOptions) (*Fig7Result, error) { return campaign.Figure7(o) }
+
+// SimTime reproduces the simulation-time comparison.
+func SimTime(o ExperimentOptions) (*SimTimeResult, error) { return campaign.SimTime(o) }

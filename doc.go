@@ -1,0 +1,10 @@
+// Package repro reproduces "Analysis and RTL Correlation of Instruction
+// Set Simulators for Automotive Microcontroller Robustness Verification"
+// (Espinosa, Hernandez, Abella, de Andres, Ruiz — DAC 2015).
+//
+// The public API lives in repro/core; the benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation. See README.md for the architecture overview, DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-versus-measured
+// results.
+package repro

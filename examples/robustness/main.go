@@ -1,0 +1,93 @@
+// ISO 26262-flavored robustness comparison: evaluate how two
+// implementations of the same software function differ in fault coverage
+// when used as a verification workload. A calibration routine written with
+// a rich instruction mix (table lookup + interpolation) exercises far more
+// microcontroller area than a naive constant-step loop, so an RTL fault
+// injection campaign driven by it converts more latent faults into
+// detectable failures — the property the diversity metric predicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/core"
+	"repro/internal/iss"
+)
+
+// naive is a deliberately impoverished implementation: same output buffer
+// contract as the tblook workload, but computed with a constant-increment
+// loop using very few instruction types.
+const naive = `
+start:
+	set out, %o1
+	set 64, %o2
+	set 100, %o3
+naive_loop:
+	st %o3, [%o1]
+	add %o3, 17, %o3
+	add %o1, 4, %o1
+	subcc %o2, 1, %o2
+	bne naive_loop
+	nop
+	set 0x90000004, %o5
+	st %o3, [%o5]
+	set 0x90000000, %o5
+	st %g0, [%o5]
+	nop
+out:
+	.space 260
+`
+
+func campaignPf(p *core.Program) float64 {
+	w := &core.Workload{Name: "candidate", Program: p}
+	res, err := core.RunCampaign(w, core.CampaignSpec{
+		Target: core.TargetIU,
+		Models: []core.FaultModel{core.StuckAt1},
+		Nodes:  160,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Pf
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Candidate A: the full interpolating implementation (bundled tblook).
+	rich, err := core.BuildWorkload("tblook", core.WorkloadConfig{Iterations: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	richProf, err := core.MeasureDiversity(rich)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate B: the naive loop, assembled from source.
+	naiveProg, err := core.AssembleProgram(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu := core.NewISS(naiveProg)
+	if st := cpu.Run(1_000_000); st != iss.StatusExited {
+		log.Fatalf("naive candidate did not exit: %v", st)
+	}
+
+	fmt.Println("Verification-workload quality for ISO 26262 fault-injection campaigns:")
+	fmt.Printf("  interpolating lookup: diversity=%2d\n", richProf.Diversity)
+	fmt.Printf("  naive constant loop:  diversity=%2d\n", cpu.Diversity())
+
+	pfRich := campaignPf(rich.Program)
+	pfNaive := campaignPf(naiveProg)
+	fmt.Printf("measured stuck-at-1 IU coverage: rich %.1f%%, naive %.1f%%\n",
+		100*pfRich, 100*pfNaive)
+	if pfRich > pfNaive {
+		fmt.Println("=> the higher-diversity workload flushes out more permanent faults,")
+		fmt.Println("   as the ISS-level diversity metric predicted without any RTL run.")
+	} else {
+		fmt.Println("=> unexpected: diversity ranking not confirmed at RTL level")
+	}
+}

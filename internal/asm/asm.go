@@ -1,0 +1,306 @@
+// Package asm implements a two-pass assembler for the SPARC V8 integer
+// instruction set defined by internal/sparc.
+//
+// The assembler exists so that the workload suite (internal/workloads) can
+// be authored as real machine programs without an external cross toolchain.
+// It supports labels, a small set of data directives, the standard SPARC
+// synthetic instructions (set, mov, cmp, ret, retl, nop, clr, inc, dec,
+// neg, not, tst, btst, b, jmp) and %hi()/%lo() relocation operators.
+//
+// Syntax summary:
+//
+//	label:              define label at current location
+//	.org ADDR           move location counter forward
+//	.align N            pad with zero bytes to an N-byte boundary
+//	.word V, V, ...     32-bit big-endian values (labels allowed)
+//	.half V, ...        16-bit values
+//	.byte V, ...        8-bit values
+//	.space N            N zero bytes
+//	! comment           comment to end of line
+//
+// Instructions follow SPARC assembler conventions, e.g.:
+//
+//	set   table, %o0
+//	ld    [%o0+4], %o1
+//	addcc %o1, -1, %o1
+//	bne,a loop
+//	st    %o1, [%o0+4]
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is an assembled, loadable memory image.
+type Program struct {
+	Origin  uint32            // load address of Image[0]
+	Image   []byte            // big-endian memory image
+	Entry   uint32            // entry point (label "start" or "_start", else Origin)
+	Symbols map[string]uint32 // label -> address
+}
+
+// Size returns the image size in bytes.
+func (p *Program) Size() int { return len(p.Image) }
+
+// Word returns the 32-bit big-endian word at address a, which must be
+// word-aligned and inside the image.
+func (p *Program) Word(a uint32) uint32 {
+	off := a - p.Origin
+	return uint32(p.Image[off])<<24 | uint32(p.Image[off+1])<<16 |
+		uint32(p.Image[off+2])<<8 | uint32(p.Image[off+3])
+}
+
+// Error is an assembly error annotated with a 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// item is one source statement occupying space in the image.
+type item struct {
+	line  int
+	addr  uint32
+	mnem  string   // lower-case mnemonic or directive
+	annul bool     // ",a" suffix on branches
+	args  []string // raw operand strings
+	size  uint32   // bytes occupied
+}
+
+// Assemble assembles src with the given load origin.
+func Assemble(src string, origin uint32) (*Program, error) {
+	a := &assembler{
+		origin:  origin,
+		symbols: make(map[string]uint32),
+	}
+	if err := a.scan(src); err != nil {
+		return nil, err
+	}
+	if err := a.encode(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Origin:  origin,
+		Image:   a.image,
+		Entry:   origin,
+		Symbols: a.symbols,
+	}
+	if e, ok := a.symbols["start"]; ok {
+		p.Entry = e
+	} else if e, ok := a.symbols["_start"]; ok {
+		p.Entry = e
+	}
+	return p, nil
+}
+
+type assembler struct {
+	origin  uint32
+	pc      uint32
+	items   []item
+	symbols map[string]uint32
+	image   []byte
+}
+
+// scan is the first pass: it tokenizes lines, assigns addresses and defines
+// labels. Sizes are deterministic (set is always 8 bytes) so one pass
+// suffices for layout.
+func (a *assembler) scan(src string) error {
+	a.pc = a.origin
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "!"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Labels (possibly several, possibly followed by a statement).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" || strings.ContainsAny(name, " \t[],") {
+				break // ':' inside an operand, not a label
+			}
+			if _, dup := a.symbols[name]; dup {
+				return &Error{lineNo + 1, fmt.Sprintf("duplicate label %q", name)}
+			}
+			a.symbols[name] = a.pc
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		it, err := a.parseStatement(line, lineNo+1)
+		if err != nil {
+			return err
+		}
+		it.addr = a.pc
+		a.pc += it.size
+		a.items = append(a.items, it)
+	}
+	return nil
+}
+
+func (a *assembler) parseStatement(line string, lineNo int) (item, error) {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	it := item{line: lineNo, mnem: mnem, args: splitOperands(rest)}
+	if strings.HasSuffix(mnem, ",a") {
+		it.mnem = strings.TrimSuffix(mnem, ",a")
+		it.annul = true
+	}
+	switch it.mnem {
+	case ".org":
+		v, err := a.evalConst(it.args, lineNo)
+		if err != nil {
+			return it, err
+		}
+		if v < a.pc {
+			return it, &Error{lineNo, fmt.Sprintf(".org %#x moves backwards from %#x", v, a.pc)}
+		}
+		it.size = v - a.pc
+		it.mnem = ".space" // handled uniformly as zero fill
+		return it, nil
+	case ".align":
+		v, err := a.evalConst(it.args, lineNo)
+		if err != nil {
+			return it, err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return it, &Error{lineNo, ".align requires a power of two"}
+		}
+		it.size = (v - a.pc%v) % v
+		it.mnem = ".space"
+		return it, nil
+	case ".space", ".skip":
+		v, err := a.evalConst(it.args, lineNo)
+		if err != nil {
+			return it, err
+		}
+		it.mnem = ".space"
+		it.size = v
+		return it, nil
+	case ".word":
+		it.size = 4 * uint32(len(it.args))
+		return it, nil
+	case ".half":
+		it.size = 2 * uint32(len(it.args))
+		return it, nil
+	case ".byte":
+		it.size = uint32(len(it.args))
+		return it, nil
+	case ".global", ".globl", ".text", ".data":
+		it.mnem = ".space"
+		it.size = 0
+		return it, nil
+	case "set":
+		it.size = 8 // sethi + or, always
+		return it, nil
+	}
+	it.size = 4
+	return it, nil
+}
+
+// evalConst evaluates a directive operand in pass 1. Numeric constants and
+// already-defined labels (with ± offsets) are allowed; forward references
+// are not, since the directive determines the layout.
+func (a *assembler) evalConst(args []string, lineNo int) (uint32, error) {
+	if len(args) != 1 {
+		return 0, &Error{lineNo, "directive needs exactly one operand"}
+	}
+	v, err := a.eval(args[0], lineNo)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}
+
+// splitOperands splits at top-level commas (commas inside brackets do not
+// occur in SPARC syntax, but %hi(...) parentheses are respected).
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[last:]))
+	return out
+}
+
+func (a *assembler) emit32(v uint32) {
+	a.image = append(a.image, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// encode is the second pass.
+func (a *assembler) encode() error {
+	for _, it := range a.items {
+		if uint32(len(a.image)) != it.addr-a.origin {
+			return &Error{it.line, "internal: layout mismatch"}
+		}
+		if err := a.encodeItem(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) encodeItem(it item) error {
+	switch it.mnem {
+	case ".space":
+		a.image = append(a.image, make([]byte, it.size)...)
+		return nil
+	case ".word":
+		for _, arg := range it.args {
+			v, err := a.eval(arg, it.line)
+			if err != nil {
+				return err
+			}
+			a.emit32(uint32(v))
+		}
+		return nil
+	case ".half":
+		for _, arg := range it.args {
+			v, err := a.eval(arg, it.line)
+			if err != nil {
+				return err
+			}
+			a.image = append(a.image, byte(v>>8), byte(v))
+		}
+		return nil
+	case ".byte":
+		for _, arg := range it.args {
+			v, err := a.eval(arg, it.line)
+			if err != nil {
+				return err
+			}
+			a.image = append(a.image, byte(v))
+		}
+		return nil
+	}
+	return a.encodeInst(it)
+}

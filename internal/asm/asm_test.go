@@ -1,0 +1,312 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparc"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, 0x40000000)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(p *Program, a uint32) sparc.Inst { return sparc.Decode(p.Word(a)) }
+
+func TestAssembleBasicALU(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	add %o0, %o1, %o2
+	sub %o2, 5, %o3
+	andcc %l0, 0xff, %g0
+`)
+	in := decodeAt(p, 0x40000000)
+	if in.Op != sparc.OpADD || in.Rs1 != 8 || in.Rs2 != 9 || in.Rd != 10 {
+		t.Errorf("add decoded %v", &in)
+	}
+	in = decodeAt(p, 0x40000004)
+	if in.Op != sparc.OpSUB || !in.Imm || in.Simm13 != 5 || in.Rd != 11 {
+		t.Errorf("sub decoded %v", &in)
+	}
+	in = decodeAt(p, 0x40000008)
+	if in.Op != sparc.OpANDCC || in.Simm13 != 0xff || in.Rd != 0 {
+		t.Errorf("andcc decoded %v", &in)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	cmp %o0, 0
+	be done
+	nop
+loop:
+	deccc %o0
+	bne,a loop
+	nop
+done:
+	ret
+	nop
+`)
+	// be done: at 0x40000004, done at 0x40000018 -> disp = (0x18-0x4)/4 = 5
+	in := decodeAt(p, 0x40000004)
+	if in.Op != sparc.OpBE || in.Imm22 != 5 || in.Annul {
+		t.Errorf("be decoded %+v", in)
+	}
+	// bne,a loop: at 0x40000010, loop at 0x4000000c -> disp -1
+	in = decodeAt(p, 0x40000010)
+	if in.Op != sparc.OpBNE || in.Imm22 != -1 || !in.Annul {
+		t.Errorf("bne,a decoded %+v", in)
+	}
+	// ret = jmpl %i7+8, %g0
+	in = decodeAt(p, 0x40000018)
+	if in.Op != sparc.OpJMPL || in.Rs1 != 31 || in.Simm13 != 8 || in.Rd != 0 {
+		t.Errorf("ret decoded %+v", in)
+	}
+}
+
+func TestAssembleSetExpansion(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	set 0x40001234, %o0
+	set 12, %o1
+`)
+	hi := decodeAt(p, 0x40000000)
+	lo := decodeAt(p, 0x40000004)
+	if hi.Op != sparc.OpSETHI || lo.Op != sparc.OpOR {
+		t.Fatalf("set expanded to %v / %v", hi.Op, lo.Op)
+	}
+	v := uint32(hi.Imm22)<<10 | uint32(lo.Simm13)
+	if v != 0x40001234 {
+		t.Errorf("set value = %#x", v)
+	}
+	// Small values still occupy two words (deterministic layout).
+	if p.Size() != 16 {
+		t.Errorf("size = %d, want 16", p.Size())
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	ld  [%o0], %o1
+	ld  [%o0+8], %o1
+	st  %o1, [%o0-4]
+	ldd [%l0+%l1], %o2
+	stb %o1, [%fp-1]
+	swap [%g2], %g3
+`)
+	cases := []struct {
+		addr uint32
+		op   sparc.Op
+		rs1  int
+		imm  bool
+		s13  int32
+		rd   int
+	}{
+		{0x40000000, sparc.OpLD, 8, true, 0, 9},
+		{0x40000004, sparc.OpLD, 8, true, 8, 9},
+		{0x40000008, sparc.OpST, 8, true, -4, 9},
+		{0x4000000c, sparc.OpLDD, 16, false, 0, 10},
+		{0x40000010, sparc.OpSTB, 30, true, -1, 9},
+		{0x40000014, sparc.OpSWAP, 2, true, 0, 3},
+	}
+	for _, c := range cases {
+		in := decodeAt(p, c.addr)
+		if in.Op != c.op || in.Rs1 != c.rs1 || in.Imm != c.imm || in.Simm13 != c.s13 || in.Rd != c.rd {
+			t.Errorf("%#x: decoded %+v, want %+v", c.addr, in, c)
+		}
+	}
+}
+
+func TestAssembleCall(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	call func
+	nop
+	nop
+func:
+	retl
+	nop
+`)
+	in := decodeAt(p, 0x40000000)
+	if in.Op != sparc.OpCALL || in.Disp30 != 3 {
+		t.Errorf("call decoded %+v", in)
+	}
+	if got := in.Target(0x40000000); got != p.Symbols["func"] {
+		t.Errorf("call target %#x, want %#x", got, p.Symbols["func"])
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	nop
+data:
+	.word 0xdeadbeef, 42, data
+	.half 0x1234
+	.byte 1, 2
+	.align 4
+tail:
+	.word tail
+`)
+	if got := p.Word(p.Symbols["data"]); got != 0xdeadbeef {
+		t.Errorf("word0 = %#x", got)
+	}
+	if got := p.Word(p.Symbols["data"] + 4); got != 42 {
+		t.Errorf("word1 = %d", got)
+	}
+	if got := p.Word(p.Symbols["data"] + 8); got != p.Symbols["data"] {
+		t.Errorf("label word = %#x", got)
+	}
+	tail := p.Symbols["tail"]
+	if tail%4 != 0 {
+		t.Errorf("tail not aligned: %#x", tail)
+	}
+	if got := p.Word(tail); got != tail {
+		t.Errorf("tail word = %#x", got)
+	}
+}
+
+func TestAssembleHiLo(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	sethi %hi(target), %o0
+	or %o0, %lo(target), %o0
+	.org 0x40000ff0
+target:
+	.word 7
+`)
+	hi := decodeAt(p, 0x40000000)
+	lo := decodeAt(p, 0x40000004)
+	v := uint32(hi.Imm22)<<10 | uint32(lo.Simm13)
+	if v != p.Symbols["target"] {
+		t.Errorf("hi/lo = %#x, want %#x", v, p.Symbols["target"])
+	}
+}
+
+func TestAssembleSpecialRegs(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	rd %y, %o0
+	wr %o1, %y
+	wr %o1, 0, %psr
+	rd %psr, %l0
+	mov 3, %g1
+	ta 0x10
+`)
+	checks := []sparc.Op{sparc.OpRDY, sparc.OpWRY, sparc.OpWRPSR, sparc.OpRDPSR, sparc.OpOR, sparc.OpTA}
+	for i, want := range checks {
+		in := decodeAt(p, 0x40000000+uint32(4*i))
+		if in.Op != want {
+			t.Errorf("inst %d = %v, want %v", i, in.Op, want)
+		}
+	}
+	ta := decodeAt(p, 0x40000014)
+	if !ta.Imm || ta.Simm13 != 0x10 {
+		t.Errorf("ta operand %+v", ta)
+	}
+}
+
+func TestAssembleSaveRestore(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	save %sp, -96, %sp
+	restore
+`)
+	in := decodeAt(p, 0x40000000)
+	if in.Op != sparc.OpSAVE || in.Rs1 != 14 || in.Simm13 != -96 || in.Rd != 14 {
+		t.Errorf("save decoded %+v", in)
+	}
+	in = decodeAt(p, 0x40000004)
+	if in.Op != sparc.OpRESTORE || in.Rd != 0 || in.Rs1 != 0 {
+		t.Errorf("restore decoded %+v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"frobnicate %o0", "unknown mnemonic"},
+		{"add %o0, %o1", "needs rs1"},
+		{"ld %o0, %o1", "expected memory operand"},
+		{"be nowhere", "undefined symbol"},
+		{"add %o0, 99999, %o1", "out of simm13 range"},
+		{"x: nop\nx: nop", "duplicate label"},
+		{".align 3", "power of two"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, 0x40000000)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleEntryDetection(t *testing.T) {
+	p := mustAssemble(t, ".word 1\nstart:\n nop\n")
+	if p.Entry != p.Symbols["start"] {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	p2, err := Assemble("nop\n", 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Entry != 0x100 {
+		t.Errorf("default entry = %#x", p2.Entry)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	nop ! trailing comment
+	// whole-line comment
+	nop
+`)
+	if p.Size() != 8 {
+		t.Errorf("size = %d, want 8", p.Size())
+	}
+}
+
+func TestAssembleSyntheticsRoundTrip(t *testing.T) {
+	// Each synthetic must expand to the documented underlying instruction.
+	p := mustAssemble(t, `
+start:
+	clr %o0
+	tst %o1
+	btst 4, %o2
+	inc %o3
+	dec 2, %o4
+	neg %o5
+	not %l0
+	jmp %o7+8
+`)
+	want := []struct {
+		op  sparc.Op
+		rd  int
+		rs1 int
+	}{
+		{sparc.OpOR, 8, 0},
+		{sparc.OpORCC, 0, 0},
+		{sparc.OpANDCC, 0, 10},
+		{sparc.OpADD, 11, 11},
+		{sparc.OpSUB, 12, 12},
+		{sparc.OpSUB, 13, 0},
+		{sparc.OpXNOR, 16, 16},
+		{sparc.OpJMPL, 0, 15},
+	}
+	for i, w := range want {
+		in := decodeAt(p, 0x40000000+uint32(4*i))
+		if in.Op != w.op || in.Rd != w.rd || in.Rs1 != w.rs1 {
+			t.Errorf("synthetic %d: got %v rd=%d rs1=%d, want %+v", i, in.Op, in.Rd, in.Rs1, w)
+		}
+	}
+}

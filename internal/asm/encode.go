@@ -1,0 +1,492 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparc"
+)
+
+// mnemonics maps assembler mnemonics to instruction types. Synthetic
+// instructions and branch aliases are handled in encodeInst.
+var mnemonics = map[string]sparc.Op{
+	"sethi": sparc.OpSETHI,
+	"ba":    sparc.OpBA, "bn": sparc.OpBN, "bne": sparc.OpBNE, "be": sparc.OpBE,
+	"bg": sparc.OpBG, "ble": sparc.OpBLE, "bge": sparc.OpBGE, "bl": sparc.OpBL,
+	"bgu": sparc.OpBGU, "bleu": sparc.OpBLEU, "bcc": sparc.OpBCC, "bcs": sparc.OpBCS,
+	"bpos": sparc.OpBPOS, "bneg": sparc.OpBNEG, "bvc": sparc.OpBVC, "bvs": sparc.OpBVS,
+	// Aliases.
+	"b": sparc.OpBA, "bz": sparc.OpBE, "bnz": sparc.OpBNE,
+	"bgeu": sparc.OpBCC, "blu": sparc.OpBCS,
+	"call": sparc.OpCALL,
+	"add":  sparc.OpADD, "addcc": sparc.OpADDCC, "addx": sparc.OpADDX, "addxcc": sparc.OpADDXCC,
+	"sub": sparc.OpSUB, "subcc": sparc.OpSUBCC, "subx": sparc.OpSUBX, "subxcc": sparc.OpSUBXCC,
+	"and": sparc.OpAND, "andcc": sparc.OpANDCC, "andn": sparc.OpANDN, "andncc": sparc.OpANDNCC,
+	"or": sparc.OpOR, "orcc": sparc.OpORCC, "orn": sparc.OpORN, "orncc": sparc.OpORNCC,
+	"xor": sparc.OpXOR, "xorcc": sparc.OpXORCC, "xnor": sparc.OpXNOR, "xnorcc": sparc.OpXNORCC,
+	"taddcc": sparc.OpTADDCC, "tsubcc": sparc.OpTSUBCC, "mulscc": sparc.OpMULSCC,
+	"sll": sparc.OpSLL, "srl": sparc.OpSRL, "sra": sparc.OpSRA,
+	"umul": sparc.OpUMUL, "umulcc": sparc.OpUMULCC, "smul": sparc.OpSMUL, "smulcc": sparc.OpSMULCC,
+	"udiv": sparc.OpUDIV, "udivcc": sparc.OpUDIVCC, "sdiv": sparc.OpSDIV, "sdivcc": sparc.OpSDIVCC,
+	"save": sparc.OpSAVE, "restore": sparc.OpRESTORE,
+	"jmpl": sparc.OpJMPL, "rett": sparc.OpRETT,
+	"rd": sparc.OpRDY, "wr": sparc.OpWRY, // resolved by special-register operand
+	"ta": sparc.OpTA, "tn": sparc.OpTN, "tne": sparc.OpTNE, "te": sparc.OpTE,
+	"tg": sparc.OpTG, "tle": sparc.OpTLE, "tge": sparc.OpTGE, "tl": sparc.OpTL,
+	"tgu": sparc.OpTGU, "tleu": sparc.OpTLEU, "tcc": sparc.OpTCC, "tcs": sparc.OpTCS,
+	"tpos": sparc.OpTPOS, "tneg": sparc.OpTNEG, "tvc": sparc.OpTVC, "tvs": sparc.OpTVS,
+	"ld": sparc.OpLD, "ldub": sparc.OpLDUB, "ldsb": sparc.OpLDSB,
+	"lduh": sparc.OpLDUH, "ldsh": sparc.OpLDSH, "ldd": sparc.OpLDD,
+	"st": sparc.OpST, "stb": sparc.OpSTB, "sth": sparc.OpSTH, "std": sparc.OpSTD,
+	"ldstub": sparc.OpLDSTUB, "swap": sparc.OpSWAP,
+}
+
+var regNames = func() map[string]int {
+	m := map[string]int{"%sp": 14, "%fp": 30}
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("%%g%d", i)] = i
+		m[fmt.Sprintf("%%o%d", i)] = 8 + i
+		m[fmt.Sprintf("%%l%d", i)] = 16 + i
+		m[fmt.Sprintf("%%i%d", i)] = 24 + i
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("%%r%d", i)] = i
+	}
+	return m
+}()
+
+func parseReg(s string) (int, bool) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]
+	return r, ok
+}
+
+// parseInt parses decimal or 0x/0b/0o prefixed integers with optional sign.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow unsigned 32-bit constants like 0xffffffff.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad integer %q", s)
+		}
+		v = int64(u)
+	}
+	return v, nil
+}
+
+// eval evaluates an expression in pass 2: integers, labels, label+const,
+// label-const, %hi(expr), %lo(expr), and '.' for the current location.
+func (a *assembler) eval(expr string, line int) (int64, error) {
+	expr = strings.TrimSpace(expr)
+	lower := strings.ToLower(expr)
+	if strings.HasPrefix(lower, "%hi(") && strings.HasSuffix(expr, ")") {
+		v, err := a.eval(expr[4:len(expr)-1], line)
+		if err != nil {
+			return 0, err
+		}
+		return int64(uint32(v) >> 10), nil
+	}
+	if strings.HasPrefix(lower, "%lo(") && strings.HasSuffix(expr, ")") {
+		v, err := a.eval(expr[4:len(expr)-1], line)
+		if err != nil {
+			return 0, err
+		}
+		return int64(uint32(v) & 0x3ff), nil
+	}
+	// label±const split at the last top-level + or - (not leading sign).
+	for i := len(expr) - 1; i > 0; i-- {
+		if expr[i] == '+' || expr[i] == '-' {
+			left, lerr := a.eval(expr[:i], line)
+			if lerr != nil {
+				break
+			}
+			right, rerr := a.eval(expr[i+1:], line)
+			if rerr != nil {
+				return 0, rerr
+			}
+			if expr[i] == '+' {
+				return left + right, nil
+			}
+			return left - right, nil
+		}
+	}
+	if v, err := parseInt(expr); err == nil {
+		return v, nil
+	}
+	if v, ok := a.symbols[expr]; ok {
+		return int64(v), nil
+	}
+	return 0, &Error{line, fmt.Sprintf("undefined symbol or bad expression %q", expr)}
+}
+
+// memOperand parses "[%rs1]", "[%rs1+imm]", "[%rs1-imm]", "[%rs1+%rs2]",
+// or "[imm]" into the rs1/rs2/simm13 fields of in.
+func (a *assembler) memOperand(s string, in *sparc.Inst, line int) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return &Error{line, fmt.Sprintf("expected memory operand, got %q", s)}
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Find a top-level + or - separating base and offset.
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			base := strings.TrimSpace(inner[:i])
+			off := strings.TrimSpace(inner[i+1:])
+			r1, ok := parseReg(base)
+			if !ok {
+				return &Error{line, fmt.Sprintf("bad base register %q", base)}
+			}
+			in.Rs1 = r1
+			if r2, ok := parseReg(off); ok {
+				if inner[i] == '-' {
+					return &Error{line, "cannot subtract a register in an address"}
+				}
+				in.Rs2 = r2
+				return nil
+			}
+			v, err := a.eval(off, line)
+			if err != nil {
+				return err
+			}
+			if inner[i] == '-' {
+				v = -v
+			}
+			return setSimm13(in, v, line)
+		}
+	}
+	if r1, ok := parseReg(inner); ok {
+		in.Rs1 = r1
+		in.Imm = true
+		return nil
+	}
+	v, err := a.eval(inner, line)
+	if err != nil {
+		return err
+	}
+	return setSimm13(in, v, line)
+}
+
+func setSimm13(in *sparc.Inst, v int64, line int) error {
+	if v < -4096 || v > 4095 {
+		return &Error{line, fmt.Sprintf("immediate %d out of simm13 range", v)}
+	}
+	in.Imm = true
+	in.Simm13 = int32(v)
+	return nil
+}
+
+// regOrImm parses an ALU second operand.
+func (a *assembler) regOrImm(s string, in *sparc.Inst, line int) error {
+	if r, ok := parseReg(s); ok {
+		in.Rs2 = r
+		return nil
+	}
+	v, err := a.eval(s, line)
+	if err != nil {
+		return err
+	}
+	return setSimm13(in, v, line)
+}
+
+func (a *assembler) encodeInst(it item) error {
+	switch it.mnem {
+	case "nop":
+		a.emit32(sparc.Encode(sparc.Inst{Op: sparc.OpSETHI}))
+		return nil
+	case "set":
+		return a.encodeSet(it)
+	case "mov":
+		return a.encodeALU(sparc.OpOR, []string{"%g0", it.args[0], it.args[len(it.args)-1]}, it.line)
+	case "clr":
+		if len(it.args) != 1 {
+			return &Error{it.line, "clr needs one register"}
+		}
+		return a.encodeALU(sparc.OpOR, []string{"%g0", "%g0", it.args[0]}, it.line)
+	case "cmp":
+		if len(it.args) != 2 {
+			return &Error{it.line, "cmp needs two operands"}
+		}
+		return a.encodeALU(sparc.OpSUBCC, []string{it.args[0], it.args[1], "%g0"}, it.line)
+	case "tst":
+		if len(it.args) != 1 {
+			return &Error{it.line, "tst needs one register"}
+		}
+		return a.encodeALU(sparc.OpORCC, []string{"%g0", it.args[0], "%g0"}, it.line)
+	case "btst":
+		if len(it.args) != 2 {
+			return &Error{it.line, "btst needs two operands"}
+		}
+		return a.encodeALU(sparc.OpANDCC, []string{it.args[1], it.args[0], "%g0"}, it.line)
+	case "inc":
+		return a.encodeIncDec(sparc.OpADD, it)
+	case "deccc":
+		return a.encodeIncDec(sparc.OpSUBCC, it)
+	case "inccc":
+		return a.encodeIncDec(sparc.OpADDCC, it)
+	case "dec":
+		return a.encodeIncDec(sparc.OpSUB, it)
+	case "neg":
+		if len(it.args) != 1 {
+			return &Error{it.line, "neg needs one register"}
+		}
+		return a.encodeALU(sparc.OpSUB, []string{"%g0", it.args[0], it.args[0]}, it.line)
+	case "not":
+		if len(it.args) != 1 {
+			return &Error{it.line, "not needs one register"}
+		}
+		return a.encodeALU(sparc.OpXNOR, []string{it.args[0], "%g0", it.args[0]}, it.line)
+	case "ret":
+		a.emit32(sparc.Encode(sparc.Inst{Op: sparc.OpJMPL, Rd: 0, Rs1: 31, Imm: true, Simm13: 8}))
+		return nil
+	case "retl":
+		a.emit32(sparc.Encode(sparc.Inst{Op: sparc.OpJMPL, Rd: 0, Rs1: 15, Imm: true, Simm13: 8}))
+		return nil
+	case "jmp":
+		in := sparc.Inst{Op: sparc.OpJMPL, Rd: 0}
+		if err := a.jmpOperand(it.args, &in, it.line); err != nil {
+			return err
+		}
+		a.emit32(sparc.Encode(in))
+		return nil
+	}
+
+	op, ok := mnemonics[it.mnem]
+	if !ok {
+		return &Error{it.line, fmt.Sprintf("unknown mnemonic %q", it.mnem)}
+	}
+	switch {
+	case op == sparc.OpSETHI:
+		if len(it.args) != 2 {
+			return &Error{it.line, "sethi needs imm22, rd"}
+		}
+		v, err := a.eval(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(it.args[1])
+		if !ok {
+			return &Error{it.line, "sethi destination must be a register"}
+		}
+		a.emit32(sparc.Encode(sparc.Inst{Op: op, Rd: rd, Imm22: int32(uint32(v) & 0x3fffff)}))
+		return nil
+	case op.IsBicc():
+		return a.encodeBranch(op, it)
+	case op == sparc.OpCALL:
+		if len(it.args) != 1 {
+			return &Error{it.line, "call needs a target"}
+		}
+		v, err := a.eval(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		disp := (int64(uint32(v)) - int64(it.addr)) >> 2
+		a.emit32(sparc.Encode(sparc.Inst{Op: op, Disp30: int32(disp)}))
+		return nil
+	case op.IsTicc():
+		in := sparc.Inst{Op: op}
+		switch len(it.args) {
+		case 1:
+			if err := a.regOrImm(it.args[0], &in, it.line); err != nil {
+				return err
+			}
+		case 2:
+			r1, ok := parseReg(it.args[0])
+			if !ok {
+				return &Error{it.line, "ticc first operand must be a register"}
+			}
+			in.Rs1 = r1
+			if err := a.regOrImm(it.args[1], &in, it.line); err != nil {
+				return err
+			}
+		default:
+			return &Error{it.line, "ticc needs 1 or 2 operands"}
+		}
+		a.emit32(sparc.Encode(in))
+		return nil
+	case op == sparc.OpRDY:
+		return a.encodeRd(it)
+	case op == sparc.OpWRY:
+		return a.encodeWr(it)
+	case op.IsLoad() || op.IsStore():
+		return a.encodeMem(op, it)
+	case op == sparc.OpJMPL:
+		if len(it.args) != 2 {
+			return &Error{it.line, "jmpl needs address, rd"}
+		}
+		rd, ok := parseReg(it.args[1])
+		if !ok {
+			return &Error{it.line, "jmpl destination must be a register"}
+		}
+		in := sparc.Inst{Op: op, Rd: rd}
+		if err := a.jmpOperand(it.args[:1], &in, it.line); err != nil {
+			return err
+		}
+		a.emit32(sparc.Encode(in))
+		return nil
+	case op == sparc.OpRETT:
+		in := sparc.Inst{Op: op}
+		if err := a.jmpOperand(it.args, &in, it.line); err != nil {
+			return err
+		}
+		a.emit32(sparc.Encode(in))
+		return nil
+	case op == sparc.OpSAVE || op == sparc.OpRESTORE:
+		if len(it.args) == 0 { // bare restore
+			a.emit32(sparc.Encode(sparc.Inst{Op: op}))
+			return nil
+		}
+		return a.encodeALU(op, it.args, it.line)
+	}
+	return a.encodeALU(op, it.args, it.line)
+}
+
+// jmpOperand parses a jmpl/jmp/rett address operand: %r, %r+imm, %r+%r.
+func (a *assembler) jmpOperand(args []string, in *sparc.Inst, line int) error {
+	if len(args) != 1 {
+		return &Error{line, "needs one address operand"}
+	}
+	return a.memOperand("["+strings.TrimSpace(args[0])+"]", in, line)
+}
+
+func (a *assembler) encodeIncDec(op sparc.Op, it item) error {
+	switch len(it.args) {
+	case 1:
+		return a.encodeALU(op, []string{it.args[0], "1", it.args[0]}, it.line)
+	case 2:
+		return a.encodeALU(op, []string{it.args[1], it.args[0], it.args[1]}, it.line)
+	}
+	return &Error{it.line, "inc/dec needs 1 or 2 operands"}
+}
+
+// encodeALU encodes the common three-operand format: rs1, reg_or_imm, rd.
+func (a *assembler) encodeALU(op sparc.Op, args []string, line int) error {
+	if len(args) != 3 {
+		return &Error{line, fmt.Sprintf("%v needs rs1, reg_or_imm, rd", op)}
+	}
+	in := sparc.Inst{Op: op}
+	r1, ok := parseReg(args[0])
+	if !ok {
+		return &Error{line, fmt.Sprintf("bad source register %q", args[0])}
+	}
+	in.Rs1 = r1
+	if err := a.regOrImm(args[1], &in, line); err != nil {
+		return err
+	}
+	rd, ok := parseReg(args[2])
+	if !ok {
+		return &Error{line, fmt.Sprintf("bad destination register %q", args[2])}
+	}
+	in.Rd = rd
+	a.emit32(sparc.Encode(in))
+	return nil
+}
+
+func (a *assembler) encodeBranch(op sparc.Op, it item) error {
+	if len(it.args) != 1 {
+		return &Error{it.line, "branch needs a target label"}
+	}
+	v, err := a.eval(it.args[0], it.line)
+	if err != nil {
+		return err
+	}
+	disp := (int64(uint32(v)) - int64(it.addr)) >> 2
+	if disp < -(1<<21) || disp >= 1<<21 {
+		return &Error{it.line, "branch displacement out of range"}
+	}
+	a.emit32(sparc.Encode(sparc.Inst{Op: op, Annul: it.annul, Imm22: int32(disp)}))
+	return nil
+}
+
+func (a *assembler) encodeMem(op sparc.Op, it item) error {
+	if len(it.args) != 2 {
+		return &Error{it.line, fmt.Sprintf("%v needs two operands", op)}
+	}
+	in := sparc.Inst{Op: op}
+	regArg, memArg := it.args[0], it.args[1]
+	if op.IsLoad() && !op.IsStore() || op == sparc.OpLDSTUB || op == sparc.OpSWAP {
+		regArg, memArg = it.args[1], it.args[0]
+	}
+	rd, ok := parseReg(regArg)
+	if !ok {
+		return &Error{it.line, fmt.Sprintf("bad data register %q", regArg)}
+	}
+	in.Rd = rd
+	if err := a.memOperand(memArg, &in, it.line); err != nil {
+		return err
+	}
+	a.emit32(sparc.Encode(in))
+	return nil
+}
+
+// encodeSet expands "set value, %rd" into sethi %hi(v),%rd ; or %rd,%lo(v),%rd.
+// It always occupies two words so that layout is independent of the value.
+func (a *assembler) encodeSet(it item) error {
+	if len(it.args) != 2 {
+		return &Error{it.line, "set needs value, rd"}
+	}
+	v64, err := a.eval(it.args[0], it.line)
+	if err != nil {
+		return err
+	}
+	v := uint32(v64)
+	rd, ok := parseReg(it.args[1])
+	if !ok {
+		return &Error{it.line, "set destination must be a register"}
+	}
+	a.emit32(sparc.Encode(sparc.Inst{Op: sparc.OpSETHI, Rd: rd, Imm22: int32(v >> 10)}))
+	a.emit32(sparc.Encode(sparc.Inst{Op: sparc.OpOR, Rd: rd, Rs1: rd, Imm: true, Simm13: int32(v & 0x3ff)}))
+	return nil
+}
+
+var specialRegs = map[string]struct {
+	rd, wr sparc.Op
+}{
+	"%y": {sparc.OpRDY, sparc.OpWRY}, "%psr": {sparc.OpRDPSR, sparc.OpWRPSR},
+	"%wim": {sparc.OpRDWIM, sparc.OpWRWIM}, "%tbr": {sparc.OpRDTBR, sparc.OpWRTBR},
+}
+
+// encodeRd handles "rd %y|%psr|%wim|%tbr, %rd".
+func (a *assembler) encodeRd(it item) error {
+	if len(it.args) != 2 {
+		return &Error{it.line, "rd needs special register, rd"}
+	}
+	sr, ok := specialRegs[strings.ToLower(it.args[0])]
+	if !ok {
+		return &Error{it.line, fmt.Sprintf("bad special register %q", it.args[0])}
+	}
+	rd, ok := parseReg(it.args[1])
+	if !ok {
+		return &Error{it.line, "rd destination must be a register"}
+	}
+	a.emit32(sparc.Encode(sparc.Inst{Op: sr.rd, Rd: rd}))
+	return nil
+}
+
+// encodeWr handles "wr rs1, reg_or_imm, %y|%psr|%wim|%tbr" and the common
+// two-operand form "wr rs1, %y".
+func (a *assembler) encodeWr(it item) error {
+	if len(it.args) != 2 && len(it.args) != 3 {
+		return &Error{it.line, "wr needs rs1 [, reg_or_imm], special register"}
+	}
+	sr, ok := specialRegs[strings.ToLower(it.args[len(it.args)-1])]
+	if !ok {
+		return &Error{it.line, fmt.Sprintf("bad special register %q", it.args[len(it.args)-1])}
+	}
+	in := sparc.Inst{Op: sr.wr}
+	r1, ok := parseReg(it.args[0])
+	if !ok {
+		return &Error{it.line, "wr source must be a register"}
+	}
+	in.Rs1 = r1
+	if len(it.args) == 3 {
+		if err := a.regOrImm(it.args[1], &in, it.line); err != nil {
+			return err
+		}
+	} else {
+		in.Imm = true
+	}
+	a.emit32(sparc.Encode(in))
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package campaign orchestrates the reproduction of every table and figure
+// of the paper's evaluation (Table 1, Figures 3-7, and the simulation-time
+// comparison). Each experiment function returns a structured result whose
+// Render method prints the same rows/series the paper reports.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/diversity"
+	"repro/internal/fault"
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ClockMHz is the assumed core clock for converting cycles to time
+// (LEON3-class automotive silicon).
+const ClockMHz = 100
+
+// Options tunes campaign cost versus precision.
+type Options struct {
+	// Nodes is the per-target injection-node sample size (statistical
+	// fault injection). 0 selects 256.
+	Nodes int
+	// Seed makes node sampling reproducible.
+	Seed int64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Iterations overrides workload kernel iterations for RTL campaigns
+	// (0 = 2, which §4.2 shows is sufficient for permanent faults).
+	Iterations int
+}
+
+func (o Options) nodes() int {
+	if o.Nodes <= 0 {
+		return 256
+	}
+	return o.Nodes
+}
+
+func (o Options) iters() int {
+	if o.Iterations <= 0 {
+		return 2
+	}
+	return o.Iterations
+}
+
+// injectFraction positions the fixed injection instant 5% into each run,
+// so that open-line faults freeze live state rather than the all-zero
+// reset values (the paper's "fixed injection instant").
+const injectFraction = 0.05
+
+// runnerFor builds a fault runner for a workload configuration.
+func runnerFor(name string, cfg workloads.Config) (*fault.Runner, error) {
+	w, err := workloads.Build(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewRunner(w.Program, fault.Options{InjectAtFraction: injectFraction})
+}
+
+// pfOf runs one (workload, target, model) campaign and returns Pf plus the
+// raw results.
+func pfOf(o Options, name string, cfg workloads.Config, target fault.Target, model rtl.FaultModel) (float64, []fault.Result, error) {
+	r, err := runnerFor(name, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	nodes := fault.SampleNodes(r.Nodes(target), o.nodes(), o.Seed)
+	results := r.Campaign(fault.Expand(nodes, model), o.Workers)
+	return fault.Pf(results), results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — benchmark characterization.
+
+// Table1Row characterizes one benchmark.
+type Table1Row struct {
+	Name      string
+	Total     uint64
+	IU        uint64
+	Memory    uint64
+	Diversity int
+}
+
+// Table1Result is the reproduced Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the six paper benchmarks on the ISS.
+func Table1() (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, name := range workloads.Table1Names() {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := diversity.Measure(name, w.Program, 50_000_000)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Name:      name,
+			Total:     prof.TotalInsts,
+			IU:        prof.IUInsts,
+			Memory:    prof.MemoryInsts,
+			Diversity: prof.Diversity,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render() string {
+	tab := &report.Table{
+		Title:   "Table 1: Benchmarks characterization",
+		Columns: []string{"Instructions", "puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench"},
+	}
+	row := func(label string, f func(Table1Row) string) {
+		cells := []interface{}{label}
+		for _, r := range t.Rows {
+			cells = append(cells, f(r))
+		}
+		tab.AddRow(cells...)
+	}
+	row("Total", func(r Table1Row) string { return fmt.Sprint(r.Total) })
+	row("Integer Unit", func(r Table1Row) string { return fmt.Sprint(r.IU) })
+	row("Memory", func(r Table1Row) string { return fmt.Sprint(r.Memory) })
+	row("Diversity", func(r Table1Row) string { return fmt.Sprint(r.Diversity) })
+	return tab.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — input-data variation on fixed-code excerpts.
+
+// Fig3Point is one excerpt bar.
+type Fig3Point struct {
+	Subset  string // "A" (8 types) or "B" (11 types)
+	Dataset string // the EEMBC member whose data flavor it carries
+	Pf      float64
+}
+
+// Fig3Result holds both subsets.
+type Fig3Result struct {
+	Points []Fig3Point
+	// SpreadA/B are the max-min Pf differences within each subset
+	// (the paper observes up to ~4 percentage points).
+	SpreadA, SpreadB float64
+}
+
+// Figure3 injects stuck-at-1 faults at the IU while running the six
+// benchmark excerpts (two code variants x three datasets).
+func Figure3(o Options) (*Fig3Result, error) {
+	labels := map[string][]string{
+		"A": {"a2time", "ttsprk", "bitmap"},
+		"B": {"rspeed", "tblook", "basefp"},
+	}
+	out := &Fig3Result{}
+	for _, subset := range []string{"A", "B"} {
+		var min, max float64
+		for ds := 0; ds < 3; ds++ {
+			pf, _, err := pfOf(o, "excerpt"+subset, workloads.Config{Dataset: ds}, fault.TargetIU, rtl.StuckAt1)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, Fig3Point{Subset: subset, Dataset: labels[subset][ds], Pf: pf})
+			if ds == 0 || pf < min {
+				min = pf
+			}
+			if ds == 0 || pf > max {
+				max = pf
+			}
+		}
+		if subset == "A" {
+			out.SpreadA = max - min
+		} else {
+			out.SpreadB = max - min
+		}
+	}
+	return out, nil
+}
+
+// Render prints the two bar groups.
+func (f *Fig3Result) Render() string {
+	var la, lb []string
+	var va, vb []float64
+	for _, p := range f.Points {
+		if p.Subset == "A" {
+			la = append(la, p.Dataset)
+			va = append(va, p.Pf)
+		} else {
+			lb = append(lb, p.Dataset)
+			vb = append(vb, p.Pf)
+		}
+	}
+	return report.Bars("Figure 3(a): excerpts, 8 instruction types, stuck-at-1 @ IU", la, va, 100) +
+		fmt.Sprintf("spread: %.1f pp\n\n", 100*f.SpreadA) +
+		report.Bars("Figure 3(b): excerpts, 11 instruction types, stuck-at-1 @ IU", lb, vb, 100) +
+		fmt.Sprintf("spread: %.1f pp\n", 100*f.SpreadB)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — iteration count: Pf stability and propagation latency.
+
+// Fig4Point is one iteration configuration of rspeed.
+type Fig4Point struct {
+	Iterations   int
+	Pf           float64
+	MaxLatencyUS float64
+}
+
+// Fig4Result holds the three configurations.
+type Fig4Result struct {
+	Points []Fig4Point
+}
+
+// Figure4 runs rspeed with 2, 4 and 10 iterations under stuck-at-1 at the
+// IU nodes.
+func Figure4(o Options) (*Fig4Result, error) {
+	out := &Fig4Result{}
+	for _, iters := range []int{2, 4, 10} {
+		r, err := runnerFor("rspeed", workloads.Config{Iterations: iters})
+		if err != nil {
+			return nil, err
+		}
+		nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
+		results := r.Campaign(fault.Expand(nodes, rtl.StuckAt1), o.Workers)
+		lat := fault.MaxLatency(results)
+		out.Points = append(out.Points, Fig4Point{
+			Iterations:   iters,
+			Pf:           fault.Pf(results),
+			MaxLatencyUS: float64(lat) / ClockMHz,
+		})
+	}
+	return out, nil
+}
+
+// Render prints both panels.
+func (f *Fig4Result) Render() string {
+	tab := &report.Table{
+		Title:   "Figure 4: rspeed iterations, stuck-at-1 @ IU",
+		Columns: []string{"config", "Pf", "max propagation latency (us)"},
+	}
+	for _, p := range f.Points {
+		tab.AddRow(fmt.Sprintf("rspeed%d", p.Iterations), report.Percent(p.Pf),
+			fmt.Sprintf("%.1f", p.MaxLatencyUS))
+	}
+	return tab.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 6 — Pf per benchmark and fault model at IU / CMEM nodes.
+
+// FigPfPoint is one bar of Figures 5/6.
+type FigPfPoint struct {
+	Benchmark string
+	Model     rtl.FaultModel
+	Pf        float64
+}
+
+// FigPfResult holds one target's sweep.
+type FigPfResult struct {
+	Target fault.Target
+	Points []FigPfPoint
+}
+
+func figurePf(o Options, target fault.Target) (*FigPfResult, error) {
+	out := &FigPfResult{Target: target}
+	for _, name := range workloads.Table1Names() {
+		cfg := workloads.Config{Iterations: o.iters()}
+		for _, model := range rtl.FaultModels() {
+			pf, _, err := pfOf(o, name, cfg, target, model)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, FigPfPoint{Benchmark: name, Model: model, Pf: pf})
+		}
+	}
+	return out, nil
+}
+
+// Figure5 sweeps the IU nodes.
+func Figure5(o Options) (*FigPfResult, error) { return figurePf(o, fault.TargetIU) }
+
+// Figure6 sweeps the CMEM nodes.
+func Figure6(o Options) (*FigPfResult, error) { return figurePf(o, fault.TargetCMEM) }
+
+// Render prints the grouped bars.
+func (f *FigPfResult) Render() string {
+	num := 5
+	if f.Target == fault.TargetCMEM {
+		num = 6
+	}
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Figure %d: propagated faults to failures at %v nodes", num, f.Target),
+		Columns: []string{"benchmark", "stuck-at-1", "stuck-at-0", "open-line"},
+	}
+	byBench := map[string]map[rtl.FaultModel]float64{}
+	var order []string
+	for _, p := range f.Points {
+		if byBench[p.Benchmark] == nil {
+			byBench[p.Benchmark] = map[rtl.FaultModel]float64{}
+			order = append(order, p.Benchmark)
+		}
+		byBench[p.Benchmark][p.Model] = p.Pf
+	}
+	for _, b := range order {
+		m := byBench[b]
+		tab.AddRow(b, report.Percent(m[rtl.StuckAt1]), report.Percent(m[rtl.StuckAt0]),
+			report.Percent(m[rtl.OpenLine]))
+	}
+	return tab.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — Pf versus instruction diversity with logarithmic fit.
+
+// Fig7Point is one scatter point.
+type Fig7Point struct {
+	Label     string
+	Diversity int
+	Pf        float64
+}
+
+// Fig7Result is the scatter plus the fitted model.
+type Fig7Result struct {
+	Points        []Fig7Point
+	A, Bderiv, R2 float64
+}
+
+// Figure7 correlates Pf (stuck-at-1 at IU) against instruction diversity
+// over the six Table-1 benchmarks and the six Figure-3 excerpts, then fits
+// y = a*ln(x) + b.
+func Figure7(o Options) (*Fig7Result, error) {
+	out := &Fig7Result{}
+	add := func(label string, name string, cfg workloads.Config) error {
+		w, err := workloads.Build(name, cfg)
+		if err != nil {
+			return err
+		}
+		prof, err := diversity.Measure(label, w.Program, 50_000_000)
+		if err != nil {
+			return err
+		}
+		pf, _, err := pfOf(o, name, cfg, fault.TargetIU, rtl.StuckAt1)
+		if err != nil {
+			return err
+		}
+		out.Points = append(out.Points, Fig7Point{Label: label, Diversity: prof.Diversity, Pf: pf})
+		return nil
+	}
+	for _, name := range workloads.Table1Names() {
+		if err := add(name, name, workloads.Config{Iterations: o.iters()}); err != nil {
+			return nil, err
+		}
+	}
+	for ds := 0; ds < 3; ds++ {
+		if err := add(fmt.Sprintf("excerptA/%d", ds), "excerptA", workloads.Config{Dataset: ds}); err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("excerptB/%d", ds), "excerptB", workloads.Config{Dataset: ds}); err != nil {
+			return nil, err
+		}
+	}
+	xs := make([]float64, len(out.Points))
+	ys := make([]float64, len(out.Points))
+	for i, p := range out.Points {
+		xs[i] = float64(p.Diversity)
+		ys[i] = p.Pf
+	}
+	a, b, r2, err := stats.LogFit(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	out.A, out.Bderiv, out.R2 = a, b, r2
+	return out, nil
+}
+
+// Render prints the scatter and the fit.
+func (f *Fig7Result) Render() string {
+	tab := &report.Table{
+		Title:   "Figure 7: propagated faults vs instruction diversity (stuck-at-1 @ IU)",
+		Columns: []string{"point", "diversity", "Pf"},
+	}
+	for _, p := range f.Points {
+		tab.AddRow(p.Label, p.Diversity, report.Percent(p.Pf))
+	}
+	return tab.String() + fmt.Sprintf(
+		"fit: y = %.4f*ln(x) %+.4f   R^2 = %.4f   (paper: y = 0.0838*ln(x) - 0.0191, R^2 = 0.9246)\n",
+		f.A, f.Bderiv, f.R2)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-time comparison (§4.2).
+
+// SimTimeResult compares RTL and ISS simulation cost.
+type SimTimeResult struct {
+	RTLCyclesPerSec float64
+	ISSInstPerSec   float64
+	// RTLRunSec and ISSRunSec are the measured wall-clock times of one
+	// full benchmark execution on each simulator.
+	RTLRunSec, ISSRunSec float64
+	// Speedup is the per-run ISS/RTL wall-clock ratio.
+	Speedup float64
+	// CampaignRuns is the size of a full exhaustive campaign (all IU and
+	// CMEM nodes x 3 models x 6 benchmarks).
+	CampaignRuns int
+	// RTLCampaignHours and ISSCampaignHours extrapolate the full campaign
+	// cost on one worker.
+	RTLCampaignHours, ISSCampaignHours float64
+}
+
+// SimTime measures both simulators on the puwmod benchmark and
+// extrapolates the full-campaign cost the paper reports (25,478 h of RTL
+// versus <300 h of ISS computing time).
+func SimTime(o Options) (*SimTimeResult, error) {
+	w, err := workloads.Build("puwmod", workloads.Config{Iterations: o.iters()})
+	if err != nil {
+		return nil, err
+	}
+
+	mi := mem.NewMemory()
+	mi.LoadImage(w.Program.Origin, w.Program.Image)
+	cpu := iss.New(mem.NewBus(mi), w.Program.Entry)
+	t0 := time.Now()
+	if st := cpu.Run(100_000_000); st != iss.StatusExited {
+		return nil, fmt.Errorf("campaign: ISS timing run: %v", st)
+	}
+	issSec := time.Since(t0).Seconds()
+
+	mr := mem.NewMemory()
+	mr.LoadImage(w.Program.Origin, w.Program.Image)
+	core := leon3.New(mem.NewBus(mr), w.Program.Entry)
+	t0 = time.Now()
+	if st := core.Run(400_000_000); st != iss.StatusExited {
+		return nil, fmt.Errorf("campaign: RTL timing run: %v", st)
+	}
+	rtlSec := time.Since(t0).Seconds()
+
+	nodes := core.K.Nodes("iu.")
+	cmem := core.K.Nodes("cmem.")
+	runs := (len(nodes) + len(cmem)) * 3 * len(workloads.Table1Names())
+
+	out := &SimTimeResult{
+		RTLCyclesPerSec:  float64(core.Cycles()) / rtlSec,
+		ISSInstPerSec:    float64(cpu.Icount) / issSec,
+		RTLRunSec:        rtlSec,
+		ISSRunSec:        issSec,
+		Speedup:          rtlSec / issSec,
+		CampaignRuns:     runs,
+		RTLCampaignHours: rtlSec * float64(runs) / 3600,
+		ISSCampaignHours: issSec * float64(runs) / 3600,
+	}
+	return out, nil
+}
+
+// Render prints the comparison next to the paper's numbers.
+func (s *SimTimeResult) Render() string {
+	tab := &report.Table{
+		Title:   "Simulation time: RTL fault injection vs ISS (one benchmark run)",
+		Columns: []string{"metric", "RTL", "ISS"},
+	}
+	tab.AddRow("wall-clock per run (s)", fmt.Sprintf("%.4f", s.RTLRunSec), fmt.Sprintf("%.4f", s.ISSRunSec))
+	tab.AddRow("throughput", fmt.Sprintf("%.0f cycles/s", s.RTLCyclesPerSec), fmt.Sprintf("%.0f inst/s", s.ISSInstPerSec))
+	tab.AddRow("full campaign (1 worker, h)", fmt.Sprintf("%.1f", s.RTLCampaignHours), fmt.Sprintf("%.1f", s.ISSCampaignHours))
+	return tab.String() + fmt.Sprintf(
+		"per-run RTL/ISS slowdown: %.1fx over %d campaign runs (paper: 25,478 h RTL on clusters vs <300 h ISS on one workstation)\n",
+		s.Speedup, s.CampaignRuns)
+}

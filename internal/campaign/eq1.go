@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/diversity"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/sparc"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Eq1Point is one benchmark's measured-versus-predicted failure
+// probability.
+type Eq1Point struct {
+	Benchmark   string
+	Diversity   int
+	MeasuredPf  float64
+	PredictedPf float64
+}
+
+// Eq1Result exercises the paper's Equation (1) end to end: per-unit
+// failure probabilities Pmf are measured on a calibration set, a log
+// model Pmf = a*ln(Dm)+b is fitted over (unit, benchmark) points, and
+// each benchmark's total Pf is then predicted as the area-weighted sum —
+// the workflow a verification team would run once per core generation and
+// reuse at the ISS level thereafter.
+type Eq1Result struct {
+	A, B   float64 // fitted per-unit model
+	FitR2  float64
+	Points []Eq1Point
+	// PredCorr is the Pearson correlation between predicted and measured
+	// benchmark Pf.
+	PredCorr float64
+}
+
+// Eq1 runs the calibration-and-predict experiment over the Table-1
+// benchmarks with stuck-at-1 faults at the IU.
+func Eq1(o Options) (*Eq1Result, error) {
+	type benchData struct {
+		name     string
+		prof     diversity.Profile
+		pf       float64
+		unitPf   map[sparc.Unit]float64
+		unitDivs [sparc.NumUnits]int
+	}
+	var all []benchData
+	var weights map[sparc.Unit]float64
+
+	for _, name := range workloads.Table1Names() {
+		cfg := workloads.Config{Iterations: o.iters()}
+		w, err := workloads.Build(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := diversity.Measure(name, w.Program, 50_000_000)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runnerFor(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
+		if weights == nil {
+			counts := map[sparc.Unit]int{}
+			for _, n := range r.Nodes(fault.TargetIU) {
+				counts[n.Unit]++
+			}
+			weights = diversity.AreaWeights(counts)
+		}
+		results := r.Campaign(fault.Expand(nodes, rtl.StuckAt1), o.Workers)
+		all = append(all, benchData{
+			name:     name,
+			prof:     prof,
+			pf:       fault.Pf(results),
+			unitPf:   fault.PfByUnit(results),
+			unitDivs: prof.UnitDiversity,
+		})
+	}
+
+	// Fit Pmf = a_m*ln(Dm) + b_m per functional unit, across benchmarks —
+	// the paper's "Dm has to be related with the failure probabilities
+	// for the different processor functional units". Pooling units would
+	// conflate their different base utilizations.
+	type unitFit struct {
+		a, b float64
+		ok   bool
+	}
+	fits := map[sparc.Unit]unitFit{}
+	var r2sum float64
+	var r2n int
+	var aAvg float64
+	for u := sparc.Unit(0); u < sparc.NumUnits; u++ {
+		var xs, ys []float64
+		for _, b := range all {
+			if d := b.unitDivs[u]; d > 0 {
+				if pmf, sampled := b.unitPf[u]; sampled {
+					xs = append(xs, float64(d))
+					ys = append(ys, pmf)
+				}
+			}
+		}
+		a, bcoef, r2, err := stats.LogFit(xs, ys)
+		if err != nil {
+			continue
+		}
+		fits[u] = unitFit{a: a, b: bcoef, ok: true}
+		r2sum += r2
+		r2n++
+		aAvg += a
+	}
+	if r2n == 0 {
+		return nil, fmt.Errorf("campaign: no unit admitted a fit")
+	}
+
+	out := &Eq1Result{A: aAvg / float64(r2n), B: 0, FitR2: r2sum / float64(r2n)}
+	var preds, meas []float64
+	for _, b := range all {
+		pred := 0.0
+		for u, w := range weights {
+			f := fits[u]
+			if !f.ok || b.unitDivs[u] <= 0 {
+				continue
+			}
+			p := f.a*logOf(float64(b.unitDivs[u])) + f.b
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			pred += w * p
+		}
+		out.Points = append(out.Points, Eq1Point{
+			Benchmark:   b.name,
+			Diversity:   b.prof.Diversity,
+			MeasuredPf:  b.pf,
+			PredictedPf: pred,
+		})
+		preds = append(preds, pred)
+		meas = append(meas, b.pf)
+	}
+	if corr, err := stats.Pearson(preds, meas); err == nil {
+		out.PredCorr = corr
+	}
+	sort.Slice(out.Points, func(i, j int) bool {
+		return out.Points[i].MeasuredPf > out.Points[j].MeasuredPf
+	})
+	return out, nil
+}
+
+func logOf(x float64) float64 { return math.Log(x) }
+
+// Render prints the calibration table.
+func (e *Eq1Result) Render() string {
+	tab := &report.Table{
+		Title:   "Equation (1): area-weighted per-unit prediction vs measured Pf (SA1 @ IU)",
+		Columns: []string{"benchmark", "diversity", "measured", "predicted"},
+	}
+	for _, p := range e.Points {
+		tab.AddRow(p.Benchmark, p.Diversity, report.Percent(p.MeasuredPf), report.Percent(p.PredictedPf))
+	}
+	return tab.String() + fmt.Sprintf(
+		"per-unit fits: mean slope %.4f, mean R^2 = %.3f; predicted-vs-measured r = %.3f\n",
+		e.A, e.FitR2, e.PredCorr)
+}

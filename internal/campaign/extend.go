@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// TransientPoint is the Pf of single-event upsets injected at one instant.
+type TransientPoint struct {
+	AtCycle uint64
+	Pf      float64
+}
+
+// TransientResult is the exploratory extension experiment: the paper
+// restricts itself to permanent faults precisely because transient-fault
+// outcomes depend on the injection instant; this experiment demonstrates
+// that temporal dependence on our RTL model (the paper's declared future
+// work).
+type TransientResult struct {
+	Benchmark string
+	Points    []TransientPoint
+	// PermanentPf is the stuck-at-1 Pf on the same node sample, for
+	// contrast.
+	PermanentPf float64
+}
+
+// ExtTransient sweeps bit-flip injection instants across the run of one
+// benchmark and contrasts the resulting Pf with the permanent stuck-at-1
+// Pf of the same nodes.
+func ExtTransient(o Options, benchmark string) (*TransientResult, error) {
+	r, err := runnerFor(benchmark, workloads.Config{Iterations: o.iters()})
+	if err != nil {
+		return nil, err
+	}
+	nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
+
+	out := &TransientResult{Benchmark: benchmark}
+	perm := r.Campaign(fault.Expand(nodes, 1 /* StuckAt1 */), o.Workers)
+	out.PermanentPf = fault.Pf(perm)
+
+	// Five instants spread across the golden run.
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		at := uint64(frac * float64(r.GoldenCycles))
+		results := r.TransientCampaign(nodes, []uint64{at}, o.Workers)
+		out.Points = append(out.Points, TransientPoint{AtCycle: at, Pf: fault.Pf(results)})
+	}
+	return out, nil
+}
+
+// Render prints the sweep.
+func (t *TransientResult) Render() string {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Extension: transient bit-flips on %s IU nodes (paper future work)", t.Benchmark),
+		Columns: []string{"injection cycle", "Pf"},
+	}
+	for _, p := range t.Points {
+		tab.AddRow(fmt.Sprint(p.AtCycle), report.Percent(p.Pf))
+	}
+	return tab.String() +
+		fmt.Sprintf("permanent stuck-at-1 Pf on the same nodes: %s\n", report.Percent(t.PermanentPf))
+}

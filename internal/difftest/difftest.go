@@ -1,0 +1,225 @@
+// Package difftest provides differential testing between the functional
+// ISS and the RTL core: a constrained random program generator whose
+// output always terminates, plus a runner that executes each program on
+// both simulators and compares architectural results and the off-core
+// trace. It is the fuzzing layer that backs the claim that the two models
+// implement the same ISA semantics.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+)
+
+// GenOptions constrains the random program generator.
+type GenOptions struct {
+	// Insts is the approximate number of generated body instructions.
+	Insts int
+	// Loops enables bounded counted loops.
+	Loops bool
+	// Memory enables loads/stores to a scratch buffer.
+	Memory bool
+	// Branches enables forward conditional branches (with and without
+	// annul bits).
+	Branches bool
+	// MulDiv enables multiply/divide instructions.
+	MulDiv bool
+	// Windows enables save/restore pairs (bounded depth).
+	Windows bool
+}
+
+// AllFeatures enables everything.
+func AllFeatures(n int) GenOptions {
+	return GenOptions{Insts: n, Loops: true, Memory: true, Branches: true, MulDiv: true, Windows: true}
+}
+
+// workRegs are the registers the generator mutates freely.
+var workRegs = []string{"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5"}
+
+// Generate emits a random terminating SPARC program. The same seed always
+// produces the same program.
+func Generate(seed int64, o GenOptions) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	reg := func() string { return workRegs[r.Intn(len(workRegs))] }
+	imm := func() int { return r.Intn(8191) - 4095 }
+
+	b.WriteString("start:\n\tset scratch, %g1\n")
+	// Seed the working registers with random values.
+	for _, wr := range workRegs {
+		fmt.Fprintf(&b, "\tset 0x%08x, %s\n", r.Uint32(), wr)
+	}
+
+	label := 0
+	var emit func(n, depth int)
+	emit = func(n, depth int) {
+		for i := 0; i < n; i++ {
+			switch k := r.Intn(20); {
+			case k < 8: // plain ALU
+				ops := []string{"add", "sub", "and", "or", "xor", "andn", "orn", "xnor"}
+				fmt.Fprintf(&b, "\t%s %s, %d, %s\n", ops[r.Intn(len(ops))], reg(), imm(), reg())
+			case k < 10: // cc-setting ALU, register form
+				ops := []string{"addcc", "subcc", "andcc", "orcc", "xorcc"}
+				fmt.Fprintf(&b, "\t%s %s, %s, %s\n", ops[r.Intn(len(ops))], reg(), reg(), reg())
+			case k < 12: // shifts
+				ops := []string{"sll", "srl", "sra"}
+				fmt.Fprintf(&b, "\t%s %s, %d, %s\n", ops[r.Intn(len(ops))], reg(), r.Intn(32), reg())
+			case k < 13: // carry chain
+				fmt.Fprintf(&b, "\taddcc %s, %s, %s\n", reg(), reg(), reg())
+				fmt.Fprintf(&b, "\taddx %s, %d, %s\n", reg(), r.Intn(64), reg())
+			case k < 15 && o.Memory: // memory round trips, incl. atomics
+				off := 4 * r.Intn(32)
+				switch r.Intn(4) {
+				case 0:
+					fmt.Fprintf(&b, "\tswap [%%g1+%d], %s\n", off, reg())
+					fmt.Fprintf(&b, "\tld [%%g1+%d], %s\n", off, reg())
+				case 1:
+					fmt.Fprintf(&b, "\tldstub [%%g1+%d], %s\n", off, reg())
+					fmt.Fprintf(&b, "\tldub [%%g1+%d], %s\n", off, reg())
+				default:
+					fmt.Fprintf(&b, "\tst %s, [%%g1+%d]\n", reg(), off)
+					fmt.Fprintf(&b, "\tld [%%g1+%d], %s\n", off, reg())
+				}
+			case k < 16 && o.Memory: // sub-word accesses
+				off := 4*r.Intn(32) + 2*r.Intn(2)
+				fmt.Fprintf(&b, "\tsth %s, [%%g1+%d]\n", reg(), off)
+				fmt.Fprintf(&b, "\tldsh [%%g1+%d], %s\n", off, reg())
+			case k < 17 && o.MulDiv:
+				if r.Intn(2) == 0 {
+					fmt.Fprintf(&b, "\t%s %s, %s, %s\n",
+						[]string{"umul", "smul"}[r.Intn(2)], reg(), reg(), reg())
+				} else {
+					// Guarantee a nonzero divisor and a bounded dividend.
+					fmt.Fprintf(&b, "\twr %%g0, %%y\n")
+					fmt.Fprintf(&b, "\tor %%g0, %d, %%l6\n", 1+r.Intn(1000))
+					fmt.Fprintf(&b, "\tudiv %s, %%l6, %s\n", reg(), reg())
+				}
+			case k < 18 && o.Branches: // forward branch over 1-3 insts
+				cond := []string{"be", "bne", "bg", "ble", "bgeu", "blu", "bpos", "bneg"}[r.Intn(8)]
+				annul := ""
+				if r.Intn(3) == 0 {
+					annul = ",a"
+				}
+				skip := 1 + r.Intn(3)
+				label++
+				fmt.Fprintf(&b, "\tcmp %s, %s\n", reg(), reg())
+				fmt.Fprintf(&b, "\t%s%s df_l%d\n", cond, annul, label)
+				fmt.Fprintf(&b, "\tadd %s, 1, %s\n", reg(), reg()) // delay slot
+				for j := 0; j < skip; j++ {
+					fmt.Fprintf(&b, "\txor %s, %d, %s\n", reg(), imm(), reg())
+				}
+				fmt.Fprintf(&b, "df_l%d:\n", label)
+			case k < 19 && o.Windows && depth < 4:
+				fmt.Fprintf(&b, "\tsave %%sp, -96, %%sp\n")
+				emit(2, depth+1)
+				fmt.Fprintf(&b, "\trestore %%o0, 0, %%o0\n")
+			default:
+				fmt.Fprintf(&b, "\tset 0x%08x, %s\n", r.Uint32(), reg())
+			}
+		}
+	}
+
+	if o.Loops {
+		iters := 2 + r.Intn(4)
+		label++
+		loopLabel := label
+		fmt.Fprintf(&b, "\tset %d, %%l7\n", iters)
+		fmt.Fprintf(&b, "df_loop%d:\n", loopLabel)
+		emit(o.Insts/2, 0)
+		fmt.Fprintf(&b, "\tsubcc %%l7, 1, %%l7\n\tbne df_loop%d\n\tnop\n", loopLabel)
+		emit(o.Insts/2, 0)
+	} else {
+		emit(o.Insts, 0)
+	}
+
+	// Publish every working register (off-core comparison points) and
+	// exit.
+	b.WriteString("\tset results, %g2\n")
+	for i, wr := range workRegs {
+		fmt.Fprintf(&b, "\tst %s, [%%g2+%d]\n", wr, 4*i)
+	}
+	b.WriteString(`
+	set 0x90000000, %g3
+	st %g0, [%g3]
+	nop
+	.align 8
+scratch:
+	.space 256
+results:
+	.space 64
+	.align 8
+	.space 2048
+stacktop:
+	.word 0
+`)
+	src := b.String()
+	// The generator body may reference the stack: point %sp at it first.
+	return strings.Replace(src, "start:\n", "start:\n\tset stacktop, %sp\n", 1)
+}
+
+// Mismatch describes a divergence between the two simulators.
+type Mismatch struct {
+	Seed   int64
+	Detail string
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("difftest: seed %d: %s", m.Seed, m.Detail)
+}
+
+// Run generates the seeded program and executes it on both simulators,
+// returning a Mismatch error if they disagree.
+func Run(seed int64, o GenOptions) error {
+	src := Generate(seed, o)
+	p, err := asm.Assemble(src, mem.RAMBase)
+	if err != nil {
+		return &Mismatch{seed, "assemble: " + err.Error()}
+	}
+
+	mi := mem.NewMemory()
+	mi.LoadImage(p.Origin, p.Image)
+	cpu := iss.New(mem.NewBus(mi), p.Entry)
+	stI := cpu.Run(2_000_000)
+
+	mr := mem.NewMemory()
+	mr.LoadImage(p.Origin, p.Image)
+	core := leon3.New(mem.NewBus(mr), p.Entry)
+	stR := core.Run(40_000_000)
+
+	if stI != stR {
+		return &Mismatch{seed, fmt.Sprintf("status ISS=%v RTL=%v", stI, stR)}
+	}
+	if stI != iss.StatusExited {
+		// Both refused identically (e.g. generated a trap); acceptable,
+		// but traces must still agree up to the halt.
+		if d := core.Bus.Trace.Divergence(&cpu.Bus.Trace); d != -1 {
+			return &Mismatch{seed, fmt.Sprintf("non-exit divergence at write %d", d)}
+		}
+		return nil
+	}
+	if d := core.Bus.Trace.Divergence(&cpu.Bus.Trace); d != -1 {
+		var gi, gr mem.Access
+		if d < len(cpu.Bus.Trace.Writes) {
+			gi = cpu.Bus.Trace.Writes[d]
+		}
+		if d < len(core.Bus.Trace.Writes) {
+			gr = core.Bus.Trace.Writes[d]
+		}
+		return &Mismatch{seed, fmt.Sprintf("write %d: ISS %v RTL %v", d, gi, gr)}
+	}
+	if cpu.Icount != core.Icount {
+		return &Mismatch{seed, fmt.Sprintf("icount ISS=%d RTL=%d", cpu.Icount, core.Icount)}
+	}
+	for r := 1; r < 32; r++ {
+		if cpu.Reg(r) != core.Reg(r) {
+			return &Mismatch{seed, fmt.Sprintf("reg %d ISS=%#x RTL=%#x", r, cpu.Reg(r), core.Reg(r))}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, AllFeatures(30))
+	b := Generate(42, AllFeatures(30))
+	if a != b {
+		t.Fatal("same seed generated different programs")
+	}
+	c := Generate(43, AllFeatures(30))
+	if a == c {
+		t.Fatal("different seeds generated identical programs")
+	}
+}
+
+func TestGenerateRespectsFeatureGates(t *testing.T) {
+	src := Generate(7, GenOptions{Insts: 60})
+	for _, forbidden := range []string{"umul", "udiv", "save %sp", "\tld ", "\tbne df_loop"} {
+		if strings.Contains(src, forbidden) {
+			t.Errorf("feature-gated construct %q leaked into minimal program", forbidden)
+		}
+	}
+	full := Generate(7, AllFeatures(200))
+	for _, expected := range []string{"df_loop", "st "} {
+		if !strings.Contains(full, expected) {
+			t.Errorf("full-feature program lacks %q", expected)
+		}
+	}
+}
+
+// TestDifferentialALU fuzzes the arithmetic subset.
+func TestDifferentialALU(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		if err := Run(seed, GenOptions{Insts: 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialMemory adds loads and stores.
+func TestDifferentialMemory(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		if err := Run(seed, GenOptions{Insts: 60, Memory: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialBranches adds forward branches with annul bits.
+func TestDifferentialBranches(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		if err := Run(seed, GenOptions{Insts: 60, Branches: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialMulDiv adds the iterative unit.
+func TestDifferentialMulDiv(t *testing.T) {
+	for seed := int64(300); seed < 340; seed++ {
+		if err := Run(seed, GenOptions{Insts: 60, MulDiv: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialWindows adds save/restore nesting.
+func TestDifferentialWindows(t *testing.T) {
+	for seed := int64(400); seed < 440; seed++ {
+		if err := Run(seed, GenOptions{Insts: 60, Windows: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialEverything fuzzes the full feature set with loops.
+func TestDifferentialEverything(t *testing.T) {
+	for seed := int64(1000); seed < 1120; seed++ {
+		if err := Run(seed, AllFeatures(80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"sync"
+)
+
+// This file extends the campaign runner beyond the paper's permanent-fault
+// scope: transient single-event upsets (the paper's declared future work,
+// whose outcome depends on the injection instant) and saboteur-style
+// bridging faults between two nets.
+
+// TransientExperiment is one bit-flip at a fixed cycle.
+type TransientExperiment struct {
+	Node    NodeInfo
+	AtCycle uint64
+}
+
+// RunTransient executes a single-event-upset experiment: the program runs
+// cleanly until AtCycle, the node's present value is inverted once, and
+// the run continues under the same off-core comparison as permanent
+// faults.
+func (r *Runner) RunTransient(e TransientExperiment) Result {
+	m := mem.NewMemory()
+	m.LoadImage(r.prog.Origin, r.prog.Image)
+	bus := mem.NewBus(m)
+	core := leon3.New(bus, r.prog.Entry)
+
+	res := Result{
+		Fault:   rtl.Fault{Node: e.Node.Node},
+		Unit:    e.Node.Unit,
+		Latency: -1,
+	}
+
+	mismatchAt := int64(-1)
+	idx := 0
+	bus.OnWrite = func(a mem.Access) {
+		if mismatchAt >= 0 {
+			return
+		}
+		g := r.golden.Writes
+		if idx >= len(g) || a.Write != g[idx].Write || a.Addr != g[idx].Addr ||
+			a.Size != g[idx].Size || a.Data != g[idx].Data {
+			mismatchAt = int64(core.Cycles())
+		}
+		idx++
+	}
+
+	for core.Cycles() < e.AtCycle && core.Status() == iss.StatusRunning {
+		core.StepCycle()
+	}
+	if err := core.K.FlipBit(e.Node.Node); err != nil {
+		res.Outcome = OutcomeNoEffect
+		return res
+	}
+	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget && mismatchAt < 0 {
+		core.StepCycle()
+	}
+	res.Cycles = core.Cycles()
+
+	switch {
+	case mismatchAt >= 0:
+		res.Outcome = OutcomeMismatch
+		res.Latency = mismatchAt - int64(e.AtCycle)
+	case core.Status() == iss.StatusErrorMode:
+		res.Outcome = OutcomeErrorMode
+		res.Latency = int64(res.Cycles) - int64(e.AtCycle)
+	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
+		res.Outcome = OutcomeHang
+	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
+		res.Outcome = OutcomeTruncated
+		res.Latency = int64(res.Cycles) - int64(e.AtCycle)
+	default:
+		res.Outcome = OutcomeNoEffect
+	}
+	return res
+}
+
+// TransientCampaign crosses nodes with injection instants and runs the
+// experiments in parallel, returning results in input order (nodes major,
+// instants minor).
+func (r *Runner) TransientCampaign(nodes []NodeInfo, atCycles []uint64, workers int) []Result {
+	exps := make([]TransientExperiment, 0, len(nodes)*len(atCycles))
+	for _, n := range nodes {
+		for _, c := range atCycles {
+			exps = append(exps, TransientExperiment{Node: n, AtCycle: c})
+		}
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	results := make([]Result, len(exps))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = r.RunTransient(exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// BridgeExperiment shorts two nodes for the whole run.
+type BridgeExperiment struct {
+	A, B NodeInfo
+	Kind rtl.BridgeKind
+}
+
+// RunBridge executes a bridging-fault experiment.
+func (r *Runner) RunBridge(e BridgeExperiment) Result {
+	m := mem.NewMemory()
+	m.LoadImage(r.prog.Origin, r.prog.Image)
+	bus := mem.NewBus(m)
+	core := leon3.New(bus, r.prog.Entry)
+
+	res := Result{
+		Fault:   rtl.Fault{Node: e.A.Node},
+		Unit:    e.A.Unit,
+		Latency: -1,
+	}
+
+	mismatchAt := int64(-1)
+	idx := 0
+	bus.OnWrite = func(a mem.Access) {
+		if mismatchAt >= 0 {
+			return
+		}
+		g := r.golden.Writes
+		if idx >= len(g) || a.Addr != g[idx].Addr || a.Size != g[idx].Size || a.Data != g[idx].Data {
+			mismatchAt = int64(core.Cycles())
+		}
+		idx++
+	}
+
+	if err := core.K.InjectBridge(e.A.Node, e.B.Node, e.Kind); err != nil {
+		res.Outcome = OutcomeNoEffect
+		return res
+	}
+	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget && mismatchAt < 0 {
+		core.StepCycle()
+	}
+	res.Cycles = core.Cycles()
+
+	switch {
+	case mismatchAt >= 0:
+		res.Outcome = OutcomeMismatch
+		res.Latency = mismatchAt
+	case core.Status() == iss.StatusErrorMode:
+		res.Outcome = OutcomeErrorMode
+		res.Latency = int64(res.Cycles)
+	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
+		res.Outcome = OutcomeHang
+	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
+		res.Outcome = OutcomeTruncated
+		res.Latency = int64(res.Cycles)
+	default:
+		res.Outcome = OutcomeNoEffect
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/sparc"
+	"repro/internal/workloads"
+)
+
+func TestTransientFlipTemporalDependence(t *testing.T) {
+	// Transient outcome depends on WHEN the flip happens (the temporal
+	// sensitivity the paper removes by restricting itself to permanent
+	// faults). A flip in the expected-PC register is catastrophic while
+	// the program runs, and harmless after the exit store has retired.
+	r := newRunner(t, "excerptA", workloads.Config{})
+	early := r.RunTransient(TransientExperiment{
+		Node:    NodeInfo{Node: rtl.Node{Name: "iu.ctl.exppc", Bit: 4}, Unit: sparc.UnitBranch},
+		AtCycle: 50,
+	})
+	if !early.Outcome.IsFailure() {
+		t.Errorf("early PC flip did not fail: %v", early.Outcome)
+	}
+	late := r.RunTransient(TransientExperiment{
+		Node:    NodeInfo{Node: rtl.Node{Name: "iu.ctl.exppc", Bit: 4}, Unit: sparc.UnitBranch},
+		AtCycle: r.GoldenCycles - 1,
+	})
+	if late.Outcome != OutcomeNoEffect {
+		t.Errorf("post-exit flip propagated: %v", late.Outcome)
+	}
+}
+
+func TestTransientWeakerThanPermanent(t *testing.T) {
+	// On the same node sample, single flips must not out-fail permanent
+	// stuck-at faults (they expose strictly less opportunity).
+	r := newRunner(t, "excerptB", workloads.Config{})
+	nodes := SampleNodes(r.Nodes(TargetIU), 48, 11)
+	perm := r.Campaign(Expand(nodes, rtl.StuckAt1), 0)
+	trans := r.TransientCampaign(nodes, []uint64{100}, 0)
+	if len(trans) != len(nodes) {
+		t.Fatalf("transient results = %d", len(trans))
+	}
+	pfPerm, pfTrans := Pf(perm), Pf(trans)
+	t.Logf("permanent Pf=%.3f transient Pf=%.3f", pfPerm, pfTrans)
+	if pfTrans > pfPerm+0.05 {
+		t.Errorf("transient Pf %.3f exceeds permanent %.3f", pfTrans, pfPerm)
+	}
+}
+
+func TestTransientFlipInDeadStateIsSilent(t *testing.T) {
+	r := newRunner(t, "excerptA", workloads.Config{})
+	res := r.RunTransient(TransientExperiment{
+		Node:    NodeInfo{Node: rtl.Node{Name: "iu.md.acc", Bit: 32}, Unit: sparc.UnitMulDiv},
+		AtCycle: 100,
+	})
+	if res.Outcome != OutcomeNoEffect {
+		t.Errorf("flip in unused muldiv unit propagated: %v", res.Outcome)
+	}
+}
+
+func TestBridgeFaultPropagates(t *testing.T) {
+	// Shorting an ALU result bit to the (usually different) store-data
+	// path corrupts values whenever the two disagree.
+	r := newRunner(t, "excerptB", workloads.Config{})
+	res := r.RunBridge(BridgeExperiment{
+		A:    NodeInfo{Node: rtl.Node{Name: "iu.ex.result", Bit: 12}, Unit: sparc.UnitALU},
+		B:    NodeInfo{Node: rtl.Node{Name: "iu.ex.aluout", Bit: 29}, Unit: sparc.UnitALU},
+		Kind: rtl.WiredAND,
+	})
+	if !res.Outcome.IsFailure() {
+		t.Errorf("ALU bridge did not fail: %v", res.Outcome)
+	}
+}
+
+func TestBridgeBetweenQuiescentNetsIsSilent(t *testing.T) {
+	// Bridging two bits that are always equal (here: two nets that stay 0
+	// for the whole run — excerptA never divides, so the muldiv overflow
+	// flag never rises, and error mode is never entered) cannot manifest.
+	r := newRunner(t, "excerptA", workloads.Config{})
+	res := r.RunBridge(BridgeExperiment{
+		A:    NodeInfo{Node: rtl.Node{Name: "iu.ctl.errm", Bit: 0}, Unit: sparc.UnitPSR},
+		B:    NodeInfo{Node: rtl.Node{Name: "iu.md.ovf", Bit: 0}, Unit: sparc.UnitMulDiv},
+		Kind: rtl.WiredOR,
+	})
+	if res.Outcome != OutcomeNoEffect {
+		t.Errorf("bridge between quiescent nets propagated: %v", res.Outcome)
+	}
+}

@@ -1,0 +1,355 @@
+// Package fault implements the RTL fault-injection framework of the
+// reproduction: enumeration and sampling of injection nodes over the IU
+// and CMEM hierarchies, single-fault experiment execution with early-exit
+// golden-trace comparison at the off-core boundary, and parallel campaign
+// orchestration.
+//
+// The experiment design follows the paper's §4.1: single permanent
+// hardware faults (stuck-at-0, stuck-at-1, open-line) applied to RTL
+// signals at a fixed injection instant; any mismatch in the off-core
+// write stream — the point where light-lockstep cores compare — is a
+// system failure.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sparc"
+)
+
+// Target selects the microcontroller unit whose nodes are injected.
+type Target int
+
+// Injection targets.
+const (
+	TargetIU Target = iota
+	TargetCMEM
+)
+
+func (t Target) String() string {
+	if t == TargetCMEM {
+		return "CMEM"
+	}
+	return "IU"
+}
+
+// Prefix returns the RTL hierarchy prefix of the target.
+func (t Target) Prefix() string {
+	if t == TargetCMEM {
+		return "cmem."
+	}
+	return "iu."
+}
+
+// Outcome classifies one injection experiment.
+type Outcome int
+
+// Experiment outcomes. Everything except OutcomeNoEffect manifests at the
+// off-core boundary and counts as a failure in Pf.
+const (
+	OutcomeNoEffect  Outcome = iota
+	OutcomeMismatch          // off-core write differed from the golden run
+	OutcomeTruncated         // program ended with missing or extra writes
+	OutcomeErrorMode         // processor entered error mode
+	OutcomeHang              // cycle budget exhausted without exit
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNoEffect:
+		return "no-effect"
+	case OutcomeMismatch:
+		return "mismatch"
+	case OutcomeTruncated:
+		return "truncated"
+	case OutcomeErrorMode:
+		return "error-mode"
+	case OutcomeHang:
+		return "hang"
+	}
+	return "outcome?"
+}
+
+// IsFailure reports whether the outcome counts as a propagated failure.
+func (o Outcome) IsFailure() bool { return o != OutcomeNoEffect }
+
+// NodeInfo is an injectable node annotated with its functional unit.
+type NodeInfo struct {
+	Node rtl.Node
+	Unit sparc.Unit
+}
+
+// Result is the outcome of one injection experiment.
+type Result struct {
+	Fault   rtl.Fault
+	Unit    sparc.Unit
+	Outcome Outcome
+	// Latency is the number of cycles from injection to the first off-core
+	// mismatch (propagation latency); -1 when the fault did not manifest
+	// as a mismatch while running.
+	Latency int64
+	// Cycles is the faulted run's length.
+	Cycles uint64
+}
+
+// Options configures a Runner.
+type Options struct {
+	// InjectAtCycle is the fixed injection instant (paper: faults "appear
+	// at a fixed injection instant"). Zero injects at reset.
+	InjectAtCycle uint64
+	// InjectAtFraction, when nonzero, positions the injection instant at
+	// this fraction of the golden run length (overrides InjectAtCycle).
+	// Injecting mid-run matters for the open-line model, whose frozen
+	// value is the charge the net carries at that instant.
+	InjectAtFraction float64
+	// BudgetFactor scales the golden run length into the faulted-run cycle
+	// budget (hang detection). Default 3.
+	BudgetFactor uint64
+	// ExtraCycles is added on top of the scaled budget. Default 10000.
+	ExtraCycles uint64
+	// NoEarlyExit disables stopping a faulted run at its first off-core
+	// mismatch (ablation A1 in DESIGN.md). The classification is
+	// identical; only the campaign cost changes.
+	NoEarlyExit bool
+}
+
+// Runner executes fault-injection experiments for one program.
+type Runner struct {
+	prog   *asm.Program
+	opts   Options
+	golden mem.Trace
+	// GoldenCycles is the clean run's length in cycles.
+	GoldenCycles uint64
+	// GoldenStatus is the clean run's terminal status.
+	GoldenStatus iss.Status
+	budget       uint64
+}
+
+// NewRunner builds the golden reference by running the program on a clean
+// RTL core.
+func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
+	if opts.BudgetFactor == 0 {
+		opts.BudgetFactor = 3
+	}
+	if opts.ExtraCycles == 0 {
+		opts.ExtraCycles = 10000
+	}
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	core := leon3.New(mem.NewBus(m), p.Entry)
+	st := core.Run(200_000_000)
+	if st != iss.StatusExited {
+		return nil, fmt.Errorf("fault: golden run did not exit: %v", st)
+	}
+	r := &Runner{
+		prog:         p,
+		opts:         opts,
+		golden:       core.Bus.Trace,
+		GoldenCycles: core.Cycles(),
+		GoldenStatus: st,
+	}
+	if opts.InjectAtFraction > 0 {
+		r.opts.InjectAtCycle = uint64(opts.InjectAtFraction * float64(r.GoldenCycles))
+	}
+	r.budget = r.GoldenCycles*opts.BudgetFactor + opts.ExtraCycles
+	return r, nil
+}
+
+// Golden returns the clean off-core trace.
+func (r *Runner) Golden() *mem.Trace { return &r.golden }
+
+// Nodes enumerates the injectable nodes of a target, annotated with their
+// functional units.
+func (r *Runner) Nodes(target Target) []NodeInfo {
+	core := leon3.New(mem.NewBus(mem.NewMemory()), r.prog.Entry)
+	nodes := core.K.Nodes(target.Prefix())
+	out := make([]NodeInfo, len(nodes))
+	for i, n := range nodes {
+		out[i] = NodeInfo{Node: n, Unit: sparc.Unit(core.K.UnitOf(n.Name))}
+	}
+	return out
+}
+
+// SampleNodes draws a deterministic uniform sample of n nodes (statistical
+// fault injection). If n >= len(nodes) the full set is returned.
+func SampleNodes(nodes []NodeInfo, n int, seed int64) []NodeInfo {
+	if n >= len(nodes) {
+		return nodes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(nodes))
+	out := make([]NodeInfo, n)
+	for i := 0; i < n; i++ {
+		out[i] = nodes[perm[i]]
+	}
+	return out
+}
+
+// Experiment is one (node, model) injection.
+type Experiment struct {
+	Node  NodeInfo
+	Model rtl.FaultModel
+}
+
+// Expand crosses nodes with fault models.
+func Expand(nodes []NodeInfo, models ...rtl.FaultModel) []Experiment {
+	out := make([]Experiment, 0, len(nodes)*len(models))
+	for _, m := range models {
+		for _, n := range nodes {
+			out = append(out, Experiment{Node: n, Model: m})
+		}
+	}
+	return out
+}
+
+// RunOne executes a single injection experiment.
+func (r *Runner) RunOne(e Experiment) Result {
+	m := mem.NewMemory()
+	m.LoadImage(r.prog.Origin, r.prog.Image)
+	bus := mem.NewBus(m)
+	core := leon3.New(bus, r.prog.Entry)
+
+	res := Result{
+		Fault:   rtl.Fault{Node: e.Node.Node, Model: e.Model},
+		Unit:    e.Node.Unit,
+		Latency: -1,
+	}
+
+	// Early-exit comparator at the off-core boundary.
+	mismatchAt := int64(-1)
+	idx := 0
+	bus.OnWrite = func(a mem.Access) {
+		if mismatchAt >= 0 {
+			return
+		}
+		g := r.golden.Writes
+		if idx >= len(g) || a.Write != g[idx].Write || a.Addr != g[idx].Addr ||
+			a.Size != g[idx].Size || a.Data != g[idx].Data {
+			mismatchAt = int64(core.Cycles())
+		}
+		idx++
+	}
+
+	// Run to the injection instant, arm the fault, continue.
+	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
+		core.StepCycle()
+	}
+	if err := core.K.Inject(res.Fault); err != nil {
+		res.Outcome = OutcomeNoEffect
+		return res
+	}
+	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget &&
+		(r.opts.NoEarlyExit || mismatchAt < 0) {
+		core.StepCycle()
+	}
+	res.Cycles = core.Cycles()
+
+	switch {
+	case mismatchAt >= 0:
+		res.Outcome = OutcomeMismatch
+		res.Latency = mismatchAt - int64(r.opts.InjectAtCycle)
+	case core.Status() == iss.StatusErrorMode:
+		// Detected when off-core activity ceases: at the halt point.
+		res.Outcome = OutcomeErrorMode
+		res.Latency = int64(res.Cycles) - int64(r.opts.InjectAtCycle)
+	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
+		res.Outcome = OutcomeHang
+	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
+		// Detected at program end, when the write count disagrees.
+		res.Outcome = OutcomeTruncated
+		res.Latency = int64(res.Cycles) - int64(r.opts.InjectAtCycle)
+	default:
+		res.Outcome = OutcomeNoEffect
+	}
+	return res
+}
+
+// Campaign runs the experiments across workers and returns results in
+// input order.
+func (r *Runner) Campaign(exps []Experiment, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(exps))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = r.RunOne(exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Pf returns the fraction of experiments whose fault propagated to a
+// failure at the off-core boundary.
+func Pf(results []Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range results {
+		if r.Outcome.IsFailure() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(results))
+}
+
+// PfByUnit groups Pf by functional unit.
+func PfByUnit(results []Result) map[sparc.Unit]float64 {
+	tot := map[sparc.Unit]int{}
+	fail := map[sparc.Unit]int{}
+	for _, r := range results {
+		tot[r.Unit]++
+		if r.Outcome.IsFailure() {
+			fail[r.Unit]++
+		}
+	}
+	out := map[sparc.Unit]float64{}
+	for u, n := range tot {
+		out[u] = float64(fail[u]) / float64(n)
+	}
+	return out
+}
+
+// MaxLatency returns the maximum detection latency in cycles over the
+// experiments whose fault manifested at a bounded instant (mismatches,
+// truncations and error modes; hangs are unbounded and excluded). This is
+// Figure 4(b)'s metric: it grows with run length because some faults only
+// corrupt data consumed in the program's final phase.
+func MaxLatency(results []Result) int64 {
+	max := int64(-1)
+	for _, r := range results {
+		if r.Outcome != OutcomeHang && r.Latency > max {
+			max = r.Latency
+		}
+	}
+	return max
+}
+
+// OutcomeCounts tallies the outcome distribution.
+func OutcomeCounts(results []Result) map[Outcome]int {
+	out := map[Outcome]int{}
+	for _, r := range results {
+		out[r.Outcome]++
+	}
+	return out
+}

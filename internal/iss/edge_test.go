@@ -1,0 +1,187 @@
+package iss
+
+import (
+	"testing"
+
+	"repro/internal/sparc"
+)
+
+func TestTaggedArithmetic(t *testing.T) {
+	// taddcc/tsubcc set V when either operand has nonzero tag bits.
+	c := runFrag(t, `
+	mov 4, %o0
+	mov 8, %o1
+	taddcc %o0, %o1, %o2   ! clean tags: V=0
+	bvs bad1
+	nop
+	mov 5, %o3             ! tag bits set
+	taddcc %o3, %o1, %o4
+	bvc bad2
+	nop
+	tsubcc %o1, %o0, %o5   ! clean
+	ba done
+	nop
+bad1:	mov 0xe1, %l0
+	ba done
+	nop
+bad2:	mov 0xe2, %l0
+done:
+`)
+	if c.Reg(16) != 0 {
+		t.Errorf("tagged overflow detection failed: marker %#x", c.Reg(16))
+	}
+	if c.Reg(10) != 12 || c.Reg(12) != 13 || c.Reg(13) != 4 {
+		t.Errorf("tagged results: %d %d %d", c.Reg(10), c.Reg(12), c.Reg(13))
+	}
+}
+
+func TestUserModePrivilegeTraps(t *testing.T) {
+	// Drop to user mode via rett with PS=0, then attempt rdpsr: must take
+	// a privileged-instruction trap through the handler.
+	c := run(t, `
+start:
+	set table, %g1
+	wr %g1, %tbr
+	ta 0                   ! enter the trap path to gain a clean rett
+	nop
+user:
+	rd %psr, %o0           ! privileged: traps with tt=3
+	nop
+dead:
+	ba dead
+	nop
+	.align 4096
+table:
+	.org table+0x30        ! tt=3 privileged_instruction
+	ba priv_handler
+	nop
+	.org table+0x800       ! tt=0x80 (ta 0)
+	! Clear PS so rett returns to user mode.
+	rd %psr, %l4
+	andn %l4, 0x40, %l4    ! PS := 0
+	wr %l4, 0, %psr
+	jmpl %l2, %g0          ! continue at 'user'
+	rett %l2+4
+	.org table+0xa00
+priv_handler:
+	set 0x90000000, %l5
+	mov 1, %l6
+	st %l6, [%l5]          ! exit code 1 proves we trapped
+	nop
+`, 100000)
+	if c.Status() != StatusExited {
+		t.Fatalf("status %v trap %#x cpu %v", c.Status(), c.TrapTaken(), c)
+	}
+	if c.Bus.ExitCode() != 1 {
+		t.Errorf("exit code %d, want 1 (privileged trap path)", c.Bus.ExitCode())
+	}
+	if c.TrapTaken() != TrapPrivilegedInst {
+		t.Errorf("tt = %#x, want %#x", c.TrapTaken(), TrapPrivilegedInst)
+	}
+}
+
+func TestWrpsrInvalidCWPTraps(t *testing.T) {
+	c := run(t, `
+start:
+	rd %psr, %o0
+	or %o0, 0x1f, %o1     ! CWP=31 >= NWindows
+	wr %o1, 0, %psr
+`, 1000)
+	if c.Status() != StatusErrorMode {
+		t.Fatalf("status %v", c.Status())
+	}
+}
+
+func TestDivisionOverflowClamps(t *testing.T) {
+	c := runFrag(t, `
+	mov 1, %o0
+	wr %o0, %y            ! Y=1 -> dividend = 2^32 + rs1
+	mov 0, %o1
+	udiv %o1, 2, %o2      ! (1<<32)/2 = 2^31 fits
+	mov 1, %o3
+	wr %o3, %y
+	udivcc %o1, 1, %o4    ! 2^32 overflows -> clamp all ones, V=1
+	bvs ovf_ok
+	nop
+	mov 0xbad, %l0
+ovf_ok:
+	sra %o1, 31, %g0      ! nop-ish
+`)
+	if c.Reg(10) != 1<<31 {
+		t.Errorf("udiv = %#x", c.Reg(10))
+	}
+	if c.Reg(12) != 0xffffffff {
+		t.Errorf("overflow clamp = %#x", c.Reg(12))
+	}
+	if c.Reg(16) == 0xbad {
+		t.Error("V flag not set on division overflow")
+	}
+}
+
+func TestSdivNegativeClamp(t *testing.T) {
+	c := runFrag(t, `
+	mov -1, %o0
+	wr %o0, %y            ! Y = 0xffffffff (sign extension of negative)
+	set 0x80000000, %o1   ! dividend low
+	sdiv %o1, 1, %o2      ! -2^31 / 1 = -2^31, representable
+`)
+	if got := int32(c.Reg(10)); got != -2147483648 {
+		t.Errorf("sdiv = %d", got)
+	}
+}
+
+func TestOpcodeCoverageOfSuite(t *testing.T) {
+	// Across the whole automotive suite, a large share of the integer ISA
+	// must actually be exercised — this is what gives the diversity
+	// plateau its meaning.
+	seen := map[sparc.Op]bool{}
+	for _, frag := range []string{
+		`
+	mov 3, %o0
+	orn %g0, %o0, %o1
+	orncc %o1, %o0, %o2
+	andncc %o2, 1, %o3
+	xnorcc %o3, %o0, %o4
+	subxcc %o4, 0, %o5
+	addxcc %o5, 1, %l0
+	umulcc %l0, 3, %l1
+	smulcc %l1, 3, %l2
+	wr %g0, %y
+	udivcc %l2, 7, %l3
+	wr %g0, %y
+	sdivcc %l3, 3, %l4
+	mulscc %l4, %o0, %l5
+`,
+	} {
+		c := runFrag(t, frag)
+		for op := sparc.Op(1); op < sparc.NumOps; op++ {
+			if c.OpCounts[op] > 0 {
+				seen[op] = true
+			}
+		}
+	}
+	for _, op := range []sparc.Op{
+		sparc.OpORN, sparc.OpORNCC, sparc.OpANDNCC, sparc.OpXNORCC,
+		sparc.OpSUBXCC, sparc.OpADDXCC, sparc.OpUMULCC, sparc.OpSMULCC,
+		sparc.OpUDIVCC, sparc.OpSDIVCC, sparc.OpMULSCC,
+	} {
+		if !seen[op] {
+			t.Errorf("op %v not exercised", op)
+		}
+	}
+}
+
+func TestAnnulledCounter(t *testing.T) {
+	c := runFrag(t, `
+	ba,a over
+	mov 1, %o0
+over:
+	cmp %g0, %g0
+	bne,a never
+	mov 2, %o1
+never:
+`)
+	if c.Annulled != 2 {
+		t.Errorf("annulled = %d, want 2", c.Annulled)
+	}
+}

@@ -1,0 +1,191 @@
+package leon3
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+)
+
+func runRTL(t *testing.T, src string, maxCycles uint64) *Core {
+	t.Helper()
+	p, err := asm.Assemble(src, mem.RAMBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	c := New(mem.NewBus(m), p.Entry)
+	c.Run(maxCycles)
+	return c
+}
+
+func TestDCacheMissThenHitTiming(t *testing.T) {
+	// Two loads from the same line: the first misses (pays dcMissPen),
+	// the second hits.
+	cold := runRTL(t, `
+start:
+	set data, %o0
+	ld [%o0], %o1
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+	.align 16
+data:
+	.word 1, 2, 3, 4
+`, 10000)
+	warm := runRTL(t, `
+start:
+	set data, %o0
+	ld [%o0], %o1
+	ld [%o0+4], %o2
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+	.align 16
+data:
+	.word 1, 2, 3, 4
+`, 10000)
+	if cold.Status() != iss.StatusExited || warm.Status() != iss.StatusExited {
+		t.Fatal("runs did not exit")
+	}
+	// The warm run has one extra instruction but the extra load hits, so
+	// the cycle delta must be exactly 1 (no second miss penalty).
+	delta := warm.Cycles() - cold.Cycles()
+	if delta != 1 {
+		t.Errorf("second load on same line cost %d cycles, want 1", delta)
+	}
+}
+
+func TestWriteThroughKeepsMemoryCurrent(t *testing.T) {
+	c := runRTL(t, `
+start:
+	set data, %o0
+	ld [%o0], %o1          ! bring the line in
+	set 0x1234, %o2
+	st %o2, [%o0]          ! write-through
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+	.align 16
+data:
+	.word 0xffffffff
+`, 10000)
+	if got := c.Bus.Mem.Read32(c.Bus.Trace.Writes[0].Addr); got != 0x1234 {
+		t.Errorf("memory after write-through = %#x", got)
+	}
+}
+
+func TestDCacheDataFaultCorruptsOnlyCachedLoads(t *testing.T) {
+	// A stuck-at in the data array corrupts a load that hits the faulted
+	// word; memory itself stays correct (write-through), so the fault is
+	// visible only through load-dependent stores.
+	src := `
+start:
+	set data, %o0
+	ld [%o0], %o1          ! miss -> fill -> read via array
+	set out, %o2
+	st %o1, [%o2]          ! propagate the (possibly corrupt) value
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+	.align 16
+data:
+	.word 0x00000000
+out:
+	.word 0
+`
+	p, err := asm.Assemble(src, mem.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the set index of `data` to fault the right array word.
+	dataAddr := p.Symbols["data"]
+	set := int(dataAddr >> 4 & (dcSets - 1))
+	word := set*lineWords + int(dataAddr>>2&(lineWords-1))
+
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	c := New(mem.NewBus(m), p.Entry)
+	if err := c.K.Inject(rtl.Fault{
+		Node:  rtl.Node{Name: "cmem.dc.data", Word: word, Bit: 9},
+		Model: rtl.StuckAt1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(10000); st != iss.StatusExited {
+		t.Fatalf("status %v", st)
+	}
+	outAddr := p.Symbols["out"]
+	if got := c.Bus.Mem.Read32(outAddr); got != 1<<9 {
+		t.Errorf("store of corrupted load = %#x, want %#x", got, 1<<9)
+	}
+	if got := c.Bus.Mem.Read32(dataAddr); got != 0 {
+		t.Errorf("backing memory corrupted: %#x", got)
+	}
+}
+
+func TestICacheTagFaultCanMisdirectFetch(t *testing.T) {
+	// Force the icache valid bit of every set stuck at 0: every fetch
+	// misses, the program still runs correctly (only slower).
+	p, err := asm.Assemble(`
+start:
+	mov 5, %o0
+	clr %o1
+loop:
+	add %o1, %o0, %o1
+	subcc %o0, 1, %o0
+	bne loop
+	nop
+	set 0x90000004, %o2
+	st %o1, [%o2]
+	set 0x90000000, %o2
+	st %g0, [%o2]
+	nop
+`, mem.RAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	c := New(mem.NewBus(m), p.Entry)
+	// Stuck-at-0 on the valid bit (bit 22) of the set holding `start`.
+	if err := c.K.Inject(rtl.Fault{
+		Node:  rtl.Node{Name: "cmem.ic.tags", Word: int(mem.RAMBase >> 4 & (icSets - 1)), Bit: 22},
+		Model: rtl.StuckAt0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(100000); st != iss.StatusExited {
+		t.Fatalf("status %v", st)
+	}
+	if got := c.Bus.Out(); len(got) != 1 || got[0] != 15 {
+		t.Errorf("result with always-missing set = %v, want [15]", got)
+	}
+}
+
+func TestDCacheStallFreezesArchitecture(t *testing.T) {
+	// During a data-cache miss the instruction count must not advance.
+	c := runRTL(t, `
+start:
+	set data, %o0
+	ld [%o0], %o1
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+	.align 16
+data:
+	.word 7
+`, 10000)
+	if c.StallDCache == 0 {
+		t.Error("cold load produced no dcache stalls")
+	}
+	// Sum of retire slots and stall causes must cover all cycles.
+	covered := c.Icount + c.StallDCache + c.StallMulDiv + c.StallLoadUse +
+		c.StallMismatch + c.StallEmpty + c.StallAnnul
+	if covered < c.Cycles()-1 { // halt cycles after exit may be uncovered
+		t.Errorf("cycle accounting: covered %d of %d", covered, c.Cycles())
+	}
+}

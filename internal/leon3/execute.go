@@ -1,0 +1,533 @@
+package leon3
+
+import (
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/sparc"
+)
+
+// executeComb is the EX stage: it validates the incoming instruction
+// against the expected-PC chain, computes the ALU/shifter/multiply-divide
+// datapaths, evaluates branches, takes traps and commits all architectural
+// control state (PC chain, PSR fields, WIM, TBR, Y, CWP).
+func (c *Core) executeComb() {
+	// Default wire values and register pass-through.
+	c.wRedir.SetBool(false)
+	c.wRedirPC.Set(c.arch.expPC.Get())
+	c.wExWbEn.SetBool(false)
+	c.wExWbIdx.Set(0)
+	c.wExResult.Set(0)
+	c.wMdBusy.SetBool(false)
+	c.wExTrap.SetBool(false)
+	c.wExTT.Set(0)
+	c.wMatch.SetBool(false)
+	c.wBrTaken.SetBool(false)
+	c.wAluOut.Set(0)
+	c.wAluCC.Set(c.arch.icc.Get())
+	c.wShOut.Set(0)
+	c.wMemAddr.Set(0)
+	c.wNextCWP.Set(c.arch.cwp.Get())
+
+	holdArch := func() {
+		for _, s := range []interface{ Hold() }{
+			c.arch.expPC, c.arch.expNPC, c.arch.icc, c.arch.cwp,
+			c.arch.sS, c.arch.sPS, c.arch.sET, c.arch.wim, c.arch.tbr,
+			c.arch.y, c.arch.annul, c.arch.redirT, c.arch.errm, c.arch.halt, c.arch.tt,
+			c.md.count, c.md.acc, c.md.quot, c.md.neg, c.md.ovf,
+		} {
+			s.Hold()
+		}
+	}
+	holdArch()
+
+	meBubble := func() {
+		c.me.valid.SetNext(0)
+		c.me.isMem.SetNext(0)
+		c.me.wbEn.SetNext(0)
+		c.me.wb2En.SetNext(0)
+	}
+	meBubble()
+
+	// A data-cache stall freezes EX entirely (stallComb holds the input
+	// registers; nothing may commit twice).
+	if c.wDcStall.GetBool() {
+		c.StallDCache++
+		return
+	}
+	if c.arch.errm.GetBool() || c.arch.halt.GetBool() {
+		return
+	}
+	if !c.ex.valid.GetBool() {
+		c.StallEmpty++
+		return
+	}
+
+	expPC := u32(c.arch.expPC)
+	pc := u32(c.ex.pc)
+	if pc != expPC {
+		// Stale sequential prefetch: bubble it. Redirect fetch unless the
+		// expected instruction is already in flight (short forward
+		// branches land inside the sequential prefetch window) or a
+		// redirect for this expectation was already issued.
+		c.StallMismatch++
+		inFlight := (c.ra.valid.GetBool() && u32(c.ra.pc) == expPC) ||
+			(c.de.valid.GetBool() && u32(c.de.pc) == expPC) ||
+			u32(c.fe.pc) == expPC
+		if !inFlight && !c.arch.redirT.GetBool() {
+			c.wRedir.SetBool(true)
+			c.wRedirPC.Set(uint64(expPC))
+			c.arch.redirT.SetNext(1)
+		}
+		return
+	}
+	c.wMatch.SetBool(true)
+	c.arch.redirT.SetNext(0)
+
+	expNPC := u32(c.arch.expNPC)
+	advance := func() {
+		c.arch.expPC.SetNext(uint64(expNPC))
+		c.arch.expNPC.SetNext(uint64(expNPC + 4))
+	}
+	jumpTo := func(t uint32) {
+		c.arch.expPC.SetNext(uint64(expNPC))
+		c.arch.expNPC.SetNext(uint64(t))
+	}
+
+	if c.arch.annul.GetBool() {
+		// Annulled delay slot: consumes a pipeline slot, no effects.
+		c.StallAnnul++
+		c.arch.annul.SetNext(0)
+		advance()
+		return
+	}
+
+	op := sparc.Op(c.ex.op.Get())
+	a := u32(c.ex.a)
+	b := u32(c.ex.b)
+	cwp := c.arch.cwp.Get()
+	icc := sparc.CCFromBits(uint32(c.arch.icc.Get()))
+
+	trap := func(tt uint8) {
+		c.wExTrap.SetBool(true)
+		c.wExTT.Set(uint64(tt))
+		c.arch.tt.SetNext(uint64(tt))
+		if !c.arch.sET.GetBool() {
+			c.arch.errm.SetNext(1)
+			return
+		}
+		newCWP := (cwp + NWindows - 1) % NWindows
+		c.arch.sET.SetNext(0)
+		c.arch.sPS.SetNext(c.arch.sS.Get())
+		c.arch.sS.SetNext(1)
+		c.arch.cwp.SetNext(newCWP)
+		c.wNextCWP.Set(newCWP)
+		tbr := u32(c.arch.tbr)&0xfffff000 | uint32(tt)<<4
+		c.arch.tbr.SetNext(uint64(tbr))
+		c.arch.expPC.SetNext(uint64(tbr))
+		c.arch.expNPC.SetNext(uint64(tbr + 4))
+		c.arch.annul.SetNext(0)
+		// l1/l2 of the new window receive PC/nPC via the WB ports.
+		c.me.valid.SetNext(1)
+		c.me.isMem.SetNext(0)
+		c.me.wbEn.SetNext(1)
+		c.me.wbIdx.SetNext(physReg(newCWP, sparc.RegL1))
+		c.me.result.SetNext(uint64(pc))
+		c.me.wb2En.SetNext(1)
+		c.me.wb2Idx.SetNext(physReg(newCWP, sparc.RegL2))
+		c.me.wb2Val.SetNext(uint64(expNPC))
+	}
+
+	// commit pushes a non-memory result toward writeback.
+	commit := func(wbEn bool, rd uint64, val uint32) {
+		c.me.valid.SetNext(1)
+		c.me.isMem.SetNext(0)
+		if wbEn {
+			idx := physReg(c.wNextCWP.Get(), rd&31)
+			if idx != 0 {
+				c.me.wbEn.SetNext(1)
+				c.me.wbIdx.SetNext(idx)
+				c.me.result.SetNext(uint64(val))
+				c.wExWbEn.SetBool(true)
+				c.wExWbIdx.Set(idx)
+				c.wExResult.Set(uint64(val))
+			}
+		}
+	}
+
+	retire := func() {
+		c.Icount++
+		c.OpCounts[op]++
+	}
+
+	switch {
+	case op == sparc.OpUnknown:
+		trap(iss.TrapIllegalInst)
+		return
+
+	case op == sparc.OpSETHI:
+		c.wAluOut.Set(uint64(b))
+		commit(true, c.ex.rd.Get(), b)
+		advance()
+		retire()
+		return
+
+	case op.IsBicc():
+		taken := sparc.EvalCond(uint32(c.ex.cond.Get()), icc)
+		c.wBrTaken.SetBool(taken)
+		if taken {
+			t := pc + u32(c.ex.disp)<<2
+			jumpTo(t)
+			if c.ex.annul.GetBool() && op == sparc.OpBA {
+				c.arch.annul.SetNext(1)
+			}
+		} else {
+			if c.ex.annul.GetBool() {
+				c.arch.annul.SetNext(1)
+			}
+			advance()
+		}
+		commit(false, 0, 0)
+		retire()
+		return
+
+	case op == sparc.OpCALL:
+		t := pc + u32(c.ex.disp)<<2
+		jumpTo(t)
+		commit(true, 15, pc)
+		retire()
+		return
+
+	case op.IsTicc():
+		if sparc.EvalCond(uint32(c.ex.cond.Get()), icc) {
+			trap(uint8(iss.TrapInstBase + (a+b)&0x7f))
+			return
+		}
+		advance()
+		commit(false, 0, 0)
+		retire()
+		return
+
+	case op == sparc.OpJMPL:
+		t := a + b
+		c.wMemAddr.Set(uint64(t))
+		if t&3 != 0 {
+			trap(iss.TrapMemNotAligned)
+			return
+		}
+		jumpTo(t)
+		commit(true, c.ex.rd.Get(), pc)
+		retire()
+		return
+
+	case op == sparc.OpRETT:
+		if c.arch.sET.GetBool() {
+			trap(iss.TrapIllegalInst)
+			return
+		}
+		if !c.arch.sS.GetBool() {
+			trap(iss.TrapPrivilegedInst)
+			return
+		}
+		t := a + b
+		if t&3 != 0 {
+			trap(iss.TrapMemNotAligned)
+			return
+		}
+		newCWP := (cwp + 1) % NWindows
+		if c.arch.wim.Get()&(1<<newCWP) != 0 {
+			trap(iss.TrapWindowUnderflow)
+			return
+		}
+		c.arch.cwp.SetNext(newCWP)
+		c.wNextCWP.Set(newCWP)
+		c.arch.sS.SetNext(c.arch.sPS.Get())
+		c.arch.sET.SetNext(1)
+		jumpTo(t)
+		commit(false, 0, 0)
+		retire()
+		return
+
+	case op == sparc.OpSAVE || op == sparc.OpRESTORE:
+		var newCWP uint64
+		var tt uint8
+		if op == sparc.OpSAVE {
+			newCWP = (cwp + NWindows - 1) % NWindows
+			tt = iss.TrapWindowOverflow
+		} else {
+			newCWP = (cwp + 1) % NWindows
+			tt = iss.TrapWindowUnderflow
+		}
+		if c.arch.wim.Get()&(1<<newCWP) != 0 {
+			trap(tt)
+			return
+		}
+		sum := a + b
+		c.wAluOut.Set(uint64(sum))
+		c.arch.cwp.SetNext(newCWP)
+		c.wNextCWP.Set(newCWP)
+		commit(true, c.ex.rd.Get(), sum)
+		advance()
+		retire()
+		return
+
+	case op.IsMemory():
+		c.executeMemOp(op, a, b, trap, advance, retire)
+		return
+
+	case op >= sparc.OpUMUL && op <= sparc.OpSDIVCC:
+		c.executeMulDiv(op, a, b, trap, advance, retire, commit)
+		return
+	}
+
+	// Single-cycle ALU and state-register operations.
+	res, cc, ok := c.aluOp(op, a, b, icc)
+	if !ok {
+		trap(c.aluTrapType(op, b))
+		return
+	}
+	c.wAluOut.Set(uint64(res))
+	c.wAluCC.Set(uint64(cc.Bits()))
+	if op.SetsCC() {
+		c.arch.icc.SetNext(c.wAluCC.Get())
+	}
+	advance()
+	retire()
+
+	switch op {
+	case sparc.OpWRY:
+		c.arch.y.SetNext(uint64(a ^ b))
+		commit(false, 0, 0)
+	case sparc.OpWRPSR:
+		v := a ^ b
+		psr := iss.PSRFromBits(v)
+		c.arch.icc.SetNext(uint64(psr.ICC.Bits()))
+		c.arch.sS.SetNextBool(psr.S)
+		c.arch.sPS.SetNextBool(psr.PS)
+		c.arch.sET.SetNextBool(psr.ET)
+		c.arch.cwp.SetNext(uint64(psr.CWP))
+		c.wNextCWP.Set(uint64(psr.CWP))
+		commit(false, 0, 0)
+	case sparc.OpWRWIM:
+		c.arch.wim.SetNext(uint64((a ^ b) & (1<<NWindows - 1)))
+		commit(false, 0, 0)
+	case sparc.OpWRTBR:
+		c.arch.tbr.SetNext(uint64((a ^ b) & 0xfffff000))
+		commit(false, 0, 0)
+	default:
+		commit(true, c.ex.rd.Get(), res)
+	}
+}
+
+// aluTrapType returns the trap a failed ALU op raises.
+func (c *Core) aluTrapType(op sparc.Op, b uint32) uint8 {
+	switch op {
+	case sparc.OpRDPSR, sparc.OpRDWIM, sparc.OpRDTBR, sparc.OpWRPSR, sparc.OpWRWIM, sparc.OpWRTBR:
+		if !c.arch.sS.GetBool() {
+			return iss.TrapPrivilegedInst
+		}
+	}
+	return iss.TrapIllegalInst
+}
+
+// aluOp computes single-cycle ALU results. ok=false raises a trap.
+func (c *Core) aluOp(op sparc.Op, a, b uint32, icc sparc.CC) (res uint32, cc sparc.CC, ok bool) {
+	cc = icc
+	ok = true
+	switch op {
+	case sparc.OpADD, sparc.OpADDCC:
+		res, cc = sparc.AddCC(a, b, false)
+	case sparc.OpADDX, sparc.OpADDXCC:
+		res, cc = sparc.AddCC(a, b, icc.C)
+	case sparc.OpSUB, sparc.OpSUBCC:
+		res, cc = sparc.SubCC(a, b, false)
+	case sparc.OpSUBX, sparc.OpSUBXCC:
+		res, cc = sparc.SubCC(a, b, icc.C)
+	case sparc.OpTADDCC:
+		res, cc = sparc.AddCC(a, b, false)
+		if (a|b)&3 != 0 {
+			cc.V = true
+		}
+	case sparc.OpTSUBCC:
+		res, cc = sparc.SubCC(a, b, false)
+		if (a|b)&3 != 0 {
+			cc.V = true
+		}
+	case sparc.OpAND, sparc.OpANDCC:
+		res = a & b
+		cc = sparc.LogicCC(res)
+	case sparc.OpANDN, sparc.OpANDNCC:
+		res = a &^ b
+		cc = sparc.LogicCC(res)
+	case sparc.OpOR, sparc.OpORCC:
+		res = a | b
+		cc = sparc.LogicCC(res)
+	case sparc.OpORN, sparc.OpORNCC:
+		res = a | ^b
+		cc = sparc.LogicCC(res)
+	case sparc.OpXOR, sparc.OpXORCC:
+		res = a ^ b
+		cc = sparc.LogicCC(res)
+	case sparc.OpXNOR, sparc.OpXNORCC:
+		res = ^(a ^ b)
+		cc = sparc.LogicCC(res)
+	case sparc.OpSLL:
+		res = a << (b & 31)
+		c.wShOut.Set(uint64(res))
+	case sparc.OpSRL:
+		res = a >> (b & 31)
+		c.wShOut.Set(uint64(res))
+	case sparc.OpSRA:
+		res = uint32(int32(a) >> (b & 31))
+		c.wShOut.Set(uint64(res))
+	case sparc.OpMULSCC:
+		op1 := a>>1 | bit(icc.N != icc.V)<<31
+		op2 := uint32(0)
+		y := u32(c.arch.y)
+		if y&1 != 0 {
+			op2 = b
+		}
+		res, cc = sparc.AddCC(op1, op2, false)
+		c.arch.y.SetNext(uint64(y>>1 | (a&1)<<31))
+	case sparc.OpRDY:
+		res = u32(c.arch.y)
+	case sparc.OpRDPSR:
+		if !c.arch.sS.GetBool() {
+			return 0, cc, false
+		}
+		res = c.psrBits()
+	case sparc.OpRDWIM:
+		if !c.arch.sS.GetBool() {
+			return 0, cc, false
+		}
+		res = u32(c.arch.wim)
+	case sparc.OpRDTBR:
+		if !c.arch.sS.GetBool() {
+			return 0, cc, false
+		}
+		res = u32(c.arch.tbr)
+	case sparc.OpWRY:
+		res = 0
+	case sparc.OpWRPSR, sparc.OpWRWIM, sparc.OpWRTBR:
+		if !c.arch.sS.GetBool() {
+			return 0, cc, false
+		}
+		if op == sparc.OpWRPSR && (a^b)&0x1f >= NWindows {
+			return 0, cc, false
+		}
+		res = 0
+	default:
+		return 0, cc, false
+	}
+	return res, cc, true
+}
+
+// psrBits assembles the architectural PSR value from the RTL fields.
+func (c *Core) psrBits() uint32 {
+	p := iss.PSR{
+		ICC: sparc.CCFromBits(uint32(c.arch.icc.Get())),
+		S:   c.arch.sS.GetBool(),
+		PS:  c.arch.sPS.GetBool(),
+		ET:  c.arch.sET.GetBool(),
+		CWP: uint8(c.arch.cwp.Get()),
+	}
+	return p.Bits()
+}
+
+func bit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// executeMemOp generates the data-cache request for a load/store.
+func (c *Core) executeMemOp(op sparc.Op, a, b uint32, trap func(uint8), advance, retire func()) {
+	addr := a + b
+	c.wMemAddr.Set(uint64(addr))
+	var align uint32
+	size := uint64(4)
+	switch op {
+	case sparc.OpLD, sparc.OpST, sparc.OpSWAP:
+		align = 3
+	case sparc.OpLDUH, sparc.OpLDSH, sparc.OpSTH:
+		align, size = 1, 2
+	case sparc.OpLDD, sparc.OpSTD:
+		align = 7
+	case sparc.OpLDUB, sparc.OpLDSB, sparc.OpSTB, sparc.OpLDSTUB:
+		size = 1
+	}
+	if addr&align != 0 {
+		trap(iss.TrapMemNotAligned)
+		return
+	}
+	rd := c.ex.rd.Get()
+	dbl := op == sparc.OpLDD || op == sparc.OpSTD
+	if dbl && rd&1 != 0 {
+		trap(iss.TrapIllegalInst)
+		return
+	}
+
+	if op.IsStore() && addr == mem.ExitAddr {
+		// The exit device terminates the program once this store drains.
+		c.arch.halt.SetNext(1)
+	}
+
+	c.me.valid.SetNext(1)
+	c.me.isMem.SetNext(1)
+	c.me.load.SetNextBool(op.IsLoad())
+	c.me.store.SetNextBool(op.IsStore() && op != sparc.OpSWAP && op != sparc.OpLDSTUB)
+	c.me.dbl.SetNextBool(dbl)
+	c.me.size.SetNext(size)
+	c.me.signed.SetNextBool(op == sparc.OpLDSB || op == sparc.OpLDSH)
+	c.me.addr.SetNext(uint64(addr))
+	c.me.wdata.SetNext(c.ex.sd.Get())
+	c.me.swap.SetNextBool(op == sparc.OpSWAP)
+	c.me.stub.SetNextBool(op == sparc.OpLDSTUB)
+
+	if op.IsLoad() {
+		idx := physReg(c.wNextCWP.Get(), rd&31)
+		if idx != 0 {
+			c.me.wbEn.SetNext(1)
+			c.me.wbIdx.SetNext(idx)
+		}
+		if op == sparc.OpLDD {
+			c.me.wb2En.SetNext(1)
+			c.me.wb2Idx.SetNext(physReg(c.wNextCWP.Get(), (rd|1)&31))
+		}
+	}
+	if op == sparc.OpSTD {
+		// The second word travels via the sd path read at RA? STD needs
+		// rd|1 as well: it was read as part of the bypass network below.
+		c.me.wdata2.SetNext(uint64(c.stdSecondWord()))
+	}
+	advance()
+	retire()
+}
+
+// stdSecondWord supplies rd|1 for STD. It is read directly from the
+// retired register state (plus in-flight writeback ports), which is
+// architecturally equal to a second RA read port.
+func (c *Core) stdSecondWord() uint32 {
+	idx := physReg(c.wNextCWP.Get(), (c.ex.rd.Get()|1)&31)
+	if idx == 0 {
+		return 0
+	}
+	v := c.rf.Read(int(idx % physRegCnt))
+	if c.xc.valid.GetBool() {
+		if c.xc.wbEn.GetBool() && c.xc.wbIdx.Get() == idx {
+			v = c.xc.wbVal.Get()
+		}
+		if c.xc.wb2En.GetBool() && c.xc.wb2Idx.Get() == idx {
+			v = c.xc.wb2Val.Get()
+		}
+	}
+	if c.me.valid.GetBool() { // ME is younger than XC: it wins
+		if c.me.wbEn.GetBool() && c.me.wbIdx.Get() == idx {
+			v = c.wMeWbVal.Get()
+		}
+		if c.me.wb2En.GetBool() && c.me.wb2Idx.Get() == idx {
+			v = c.wMeWb2Val.Get()
+		}
+	}
+	return uint32(v)
+}

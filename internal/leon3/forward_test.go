@@ -1,0 +1,192 @@
+package leon3
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/iss"
+	"repro/internal/mem"
+)
+
+func assembleProg(src string) (*asm.Program, error) {
+	return asm.Assemble(src, mem.RAMBase)
+}
+
+func newCore(p *asm.Program) *Core {
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	return New(mem.NewBus(m), p.Entry)
+}
+
+// Forwarding and hazard corner cases, each validated in lockstep against
+// the ISS through lockstepSrc (defined in leon3_test.go).
+
+func TestForwardStoreDataFromLoad(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set buf, %o0
+	mov 0x5a, %o1
+	st %o1, [%o0]
+	ld [%o0], %o2
+	st %o2, [%o0+4]      ! store data depends on the load (load-use on rd)
+	ld [%o0+4], %o3
+	st %o3, [%o0+8]
+`+exitSeq+`
+buf:
+	.space 16
+`, 1000)
+}
+
+func TestForwardStdSecondWord(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set buf, %o0
+	mov 0x11, %o2
+	mov 0x22, %o3
+	add %o2, 1, %o2      ! freshen rd
+	add %o3, 1, %o3      ! freshen rd|1 right before the std
+	std %o2, [%o0]
+	ldd [%o0], %o4
+	std %o4, [%o0+8]
+`+exitSeq+`
+	.align 8
+buf:
+	.space 32
+`, 1000)
+}
+
+func TestForwardThroughSaveRestoreWindowShift(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set stacktop, %sp
+	mov 7, %o0
+	save %sp, -96, %sp   ! %o0 becomes %i0 of the new window
+	add %i0, 1, %i1      ! read the renamed register immediately
+	mov %i1, %i2
+	restore %i2, 0, %o1  ! result lands in the old window
+	set buf, %o2
+	st %o1, [%o2]
+`+exitSeq+`
+buf:
+	.space 8
+	.space 256
+stacktop:
+	.word 0
+`, 1000)
+}
+
+func TestBackToBackMulDiv(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set 12345, %o0
+	umul %o0, %o0, %o1   ! iterative unit busy
+	umul %o1, 3, %o2     ! immediately reissue
+	rd %y, %o3
+	wr %g0, %y
+	udiv %o2, 7, %o4     ! div right after mul
+	smul %o4, %o4, %o5
+	set buf, %g1
+	st %o1, [%g1]
+	st %o2, [%g1+4]
+	st %o4, [%g1+8]
+	st %o5, [%g1+12]
+`+exitSeq+`
+buf:
+	.space 16
+`, 2000)
+}
+
+func TestMulDivResultImmediatelyConsumed(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	mov 100, %o0
+	smul %o0, %o0, %o1
+	add %o1, 1, %o2      ! consume the muldiv result with no gap
+	sub %o2, %o1, %o3
+	set buf, %g1
+	st %o2, [%g1]
+	st %o3, [%g1+4]
+`+exitSeq+`
+buf:
+	.space 8
+`, 1000)
+}
+
+func TestSwapWithForwardedOperands(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set cell, %o0
+	mov 0xaa, %o1
+	add %o1, 1, %o1      ! forwarded into swap's store data
+	swap [%o0], %o1
+	st %o1, [%o0+4]      ! old memory value
+	ld [%o0], %o2        ! new memory value
+	st %o2, [%o0+8]
+`+exitSeq+`
+cell:
+	.word 0x1234, 0, 0
+`, 1000)
+}
+
+func TestTrapL1L2ForwardToHandler(t *testing.T) {
+	// The trap bubble writes l1/l2 through the WB ports; the handler's
+	// first instructions read them immediately (bypass distance 1-2).
+	lockstepSrc(t, `
+start:
+	set table, %g1
+	wr %g1, %tbr
+	ta 1
+	nop
+	set 0x90000004, %g2
+	mov 7, %g3
+	st %g3, [%g2]
+`+exitSeq+`
+	.align 4096
+table:
+	.org table+0x810     ! tt = 0x81
+	add %l1, %g0, %l4    ! read l1 right away
+	add %l2, %g0, %l5
+	jmpl %l5, %g0
+	rett %l5+4
+`, 100000)
+}
+
+func TestBranchIntoDelaySlotRegion(t *testing.T) {
+	// Dense short-forward branches (distance 1..3) exercise the
+	// in-flight redirect suppression.
+	lockstepSrc(t, `
+start:
+	mov 10, %o0
+	clr %o1
+dense:
+	cmp %o0, 5
+	bg d1
+	nop
+	add %o1, 1, %o1
+d1:	ble d2
+	nop
+	add %o1, 2, %o1
+d2:	bne d3
+	nop
+	add %o1, 4, %o1
+d3:	subcc %o0, 1, %o0
+	bne dense
+	nop
+	set buf, %g1
+	st %o1, [%g1]
+`+exitSeq+`
+buf:
+	.space 8
+`, 5000)
+}
+
+func TestRTLStatusAfterBudget(t *testing.T) {
+	p, err := assembleProg("start:\n\tba start\n\tnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := newCore(p)
+	if st := core.Run(500); st != iss.StatusBudget {
+		t.Errorf("status %v, want budget", st)
+	}
+}

@@ -1,0 +1,369 @@
+package leon3
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/sparc"
+	"repro/internal/workloads"
+)
+
+// runBoth executes the same program image on the ISS and the RTL core.
+func runBoth(t *testing.T, p *asm.Program, maxInsts uint64) (*iss.CPU, *Core) {
+	t.Helper()
+	mi := mem.NewMemory()
+	mi.LoadImage(p.Origin, p.Image)
+	cpu := iss.New(mem.NewBus(mi), p.Entry)
+	cpu.Run(maxInsts)
+
+	mr := mem.NewMemory()
+	mr.LoadImage(p.Origin, p.Image)
+	core := New(mem.NewBus(mr), p.Entry)
+	core.Run(maxInsts * 12) // generous cycle budget (CPI plus stalls)
+	return cpu, core
+}
+
+// checkLockstep asserts architectural equivalence of a finished pair.
+func checkLockstep(t *testing.T, name string, cpu *iss.CPU, core *Core) {
+	t.Helper()
+	if cpu.Status() != core.Status() {
+		t.Fatalf("%s: status ISS=%v RTL=%v (RTL pc=%08x cycles=%d icount=%d)",
+			name, cpu.Status(), core.Status(), core.PC(), core.Cycles(), core.Icount)
+	}
+	if d := core.Bus.Trace.Divergence(&cpu.Bus.Trace); d != -1 {
+		var a, b mem.Access
+		if d < len(cpu.Bus.Trace.Writes) {
+			a = cpu.Bus.Trace.Writes[d]
+		}
+		if d < len(core.Bus.Trace.Writes) {
+			b = core.Bus.Trace.Writes[d]
+		}
+		t.Fatalf("%s: off-core traces diverge at write %d: ISS %v, RTL %v", name, d, a, b)
+	}
+	if cpu.Icount != core.Icount {
+		t.Errorf("%s: icount ISS=%d RTL=%d", name, cpu.Icount, core.Icount)
+	}
+	if cpu.OpCounts != core.OpCounts {
+		for op := sparc.Op(0); op < sparc.NumOps; op++ {
+			if cpu.OpCounts[op] != core.OpCounts[op] {
+				t.Errorf("%s: opcount[%v] ISS=%d RTL=%d", name, op, cpu.OpCounts[op], core.OpCounts[op])
+			}
+		}
+	}
+	// Full register file sweep across all windows.
+	for w := uint8(0); w < NWindows; w++ {
+		for r := 1; r < 32; r++ {
+			want := cpu.RegInWindow(w, r)
+			got := uint32(core.rf.Read(int(physReg(uint64(w), uint64(r)))))
+			if r < 8 {
+				got = uint32(core.rf.Read(r))
+			}
+			if want != got {
+				t.Errorf("%s: w%d %s ISS=%#x RTL=%#x", name, w, sparc.RegName(r), want, got)
+			}
+		}
+	}
+}
+
+func lockstepSrc(t *testing.T, src string, maxInsts uint64) (*iss.CPU, *Core) {
+	t.Helper()
+	p, err := asm.Assemble(src, mem.RAMBase)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cpu, core := runBoth(t, p, maxInsts)
+	checkLockstep(t, "src", cpu, core)
+	return cpu, core
+}
+
+const exitSeq = `
+	set 0x90000000, %l7
+	st %g0, [%l7]
+	nop
+`
+
+func TestLockstepBasicALU(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	mov 10, %o0
+	mov 3, %o1
+	add %o0, %o1, %o2
+	subcc %o0, %o1, %o3
+	and %o2, %o3, %o4
+	orcc %o4, 1, %o5
+	xor %o5, %o0, %l0
+	sll %l0, 4, %l1
+	sra %l1, 2, %l2
+	set results, %l6
+	st %o2, [%l6]
+	st %o3, [%l6+4]
+	st %l2, [%l6+8]
+`+exitSeq+`
+results:
+	.space 16
+`, 1000)
+}
+
+func TestLockstepForwardingChains(t *testing.T) {
+	// Back-to-back dependencies exercise every bypass distance.
+	lockstepSrc(t, `
+start:
+	mov 1, %o0
+	add %o0, %o0, %o0   ! EX->RA
+	add %o0, %o0, %o0
+	add %o0, %o0, %o0
+	add %o0, %o0, %o0
+	set buf, %o1
+	st %o0, [%o1]
+	ld [%o1], %o2       ! load
+	add %o2, 1, %o3     ! load-use stall + ME->RA forward
+	st %o3, [%o1+4]
+	ld [%o1+4], %o4
+	nop
+	add %o4, 1, %o5     ! XC->RA distance
+	st %o5, [%o1+8]
+`+exitSeq+`
+buf:
+	.space 16
+`, 1000)
+}
+
+func TestLockstepBranchesAndAnnul(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	mov 5, %o0
+	clr %o1
+loop:
+	add %o1, %o0, %o1
+	subcc %o0, 1, %o0
+	bne,a loop
+	nop
+	cmp %o1, 15
+	be good
+	nop
+	mov 99, %o1
+good:
+	ba,a skip
+	mov 77, %o1        ! annulled
+skip:
+	set out, %o2
+	st %o1, [%o2]
+`+exitSeq+`
+out:
+	.space 8
+`, 1000)
+}
+
+func TestLockstepCallSaveRestore(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set stacktop, %sp
+	mov 21, %o0
+	call double
+	nop
+	set out, %o1
+	st %o0, [%o1]
+`+exitSeq+`
+double:
+	save %sp, -96, %sp
+	add %i0, %i0, %i0
+	ret
+	restore
+out:
+	.space 8
+	.space 256
+stacktop:
+	.word 0
+`, 1000)
+}
+
+func TestLockstepMulDiv(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set 123456, %o0
+	set 789, %o1
+	umul %o0, %o1, %o2
+	rd %y, %o3
+	smul %o0, %o1, %o4
+	mov -77, %o5
+	smul %o5, %o1, %l0
+	rd %y, %l1
+	wr %g0, %y
+	set 1000000, %l2
+	udiv %l2, 7, %l3
+	sra %o5, 31, %l4
+	wr %l4, %y
+	sdiv %o5, 3, %l5
+	set out, %g1
+	st %o2, [%g1]
+	st %o3, [%g1+4]
+	st %o4, [%g1+8]
+	st %l0, [%g1+12]
+	st %l3, [%g1+16]
+	st %l5, [%g1+20]
+`+exitSeq+`
+out:
+	.space 32
+`, 1000)
+}
+
+func TestLockstepMulsccSequence(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set 30011, %o0
+	set 721, %o1
+	wr %o1, %y
+	andcc %g0, %g0, %o4
+	mulscc %o4, %o0, %o4
+	mulscc %o4, %o0, %o4
+	mulscc %o4, %o0, %o4
+	mulscc %o4, %o0, %o4
+	rd %y, %o5
+	set out, %g1
+	st %o4, [%g1]
+	st %o5, [%g1+4]
+`+exitSeq+`
+out:
+	.space 8
+`, 1000)
+}
+
+func TestLockstepMemoryWidths(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set data, %o0
+	ld [%o0], %o1
+	ldub [%o0+1], %o2
+	ldsb [%o0], %o3
+	lduh [%o0+2], %o4
+	ldsh [%o0], %o5
+	ldd [%o0+8], %l0
+	set buf, %l6
+	st %o1, [%l6]
+	stb %o2, [%l6+4]
+	sth %o4, [%l6+6]
+	std %l0, [%l6+8]
+	mov 5, %l3
+	swap [%l6], %l3
+	ldstub [%l6+4], %l4
+	st %l3, [%l6+16]
+	st %l4, [%l6+20]
+`+exitSeq+`
+	.align 8
+data:
+	.word 0xdeadbeef, 0x01020304, 0x11223344, 0x55667788
+	.align 8
+buf:
+	.space 32
+`, 1000)
+}
+
+func TestLockstepTrapsAndErrorMode(t *testing.T) {
+	// Division by zero with TBR pointing at unmapped memory ends in error
+	// mode on both simulators.
+	cpu, core := lockstepSrc(t, `
+start:
+	mov 3, %o0
+	udiv %o0, %g0, %o1
+`, 1000)
+	if cpu.Status() != iss.StatusErrorMode || core.Status() != iss.StatusErrorMode {
+		t.Fatalf("statuses: ISS=%v RTL=%v", cpu.Status(), core.Status())
+	}
+}
+
+func TestLockstepTaTrapHandler(t *testing.T) {
+	lockstepSrc(t, `
+start:
+	set table, %g1
+	wr %g1, %tbr
+	ta 3
+	nop
+	set 0x90000004, %g2
+	mov 1, %g3
+	st %g3, [%g2]
+`+exitSeq+`
+	.align 4096
+table:
+	.org table+0x830
+	jmpl %l2, %g0
+	rett %l2+4
+`, 100000)
+}
+
+func TestLockstepWindowSpillRecursion(t *testing.T) {
+	w := workloadFromRuntime(t, `
+	save %sp, -96, %sp
+	mov 12, %o0
+	call rec
+	nop
+	mov %o0, %i0
+	ret
+	restore
+rec:
+	save %sp, -96, %sp
+	cmp %i0, 0
+	be rec_base
+	nop
+	sub %i0, 1, %o0
+	call rec
+	nop
+	add %o0, 1, %i0
+	ret
+	restore
+rec_base:
+	clr %i0
+	ret
+	restore
+`)
+	cpu, core := runBoth(t, w, 1_000_000)
+	checkLockstep(t, "recursion", cpu, core)
+	if cpu.Bus.ExitCode() != 12 {
+		t.Errorf("exit code %d, want 12", cpu.Bus.ExitCode())
+	}
+}
+
+// workloadFromRuntime builds a full-runtime program from a main body.
+func workloadFromRuntime(t *testing.T, body string) *asm.Program {
+	t.Helper()
+	w, err := workloads.BuildRaw(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLockstepAllWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := workloads.Config{}
+			if name != "excerptA" && name != "excerptB" {
+				cfg.Iterations = 2 // keep RTL runtime manageable
+			}
+			w, err := workloads.Build(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, core := runBoth(t, w.Program, 3_000_000)
+			checkLockstep(t, name, cpu, core)
+			t.Logf("%s: %d insts, %d cycles, CPI=%.2f",
+				name, core.Icount, core.Cycles(), float64(core.Cycles())/float64(core.Icount))
+		})
+	}
+}
+
+func TestRTLNodeInventory(t *testing.T) {
+	bus := mem.NewBus(mem.NewMemory())
+	core := New(bus, mem.RAMBase)
+	iu := core.K.Nodes("iu.")
+	cm := core.K.Nodes("cmem.")
+	if len(iu) < 1000 {
+		t.Errorf("IU nodes = %d, suspiciously few", len(iu))
+	}
+	if len(cm) < 5000 {
+		t.Errorf("CMEM nodes = %d, suspiciously few", len(cm))
+	}
+	t.Logf("injection nodes: IU=%d CMEM=%d (%v)", len(iu), len(cm), core.K)
+}

@@ -1,0 +1,146 @@
+package leon3
+
+import (
+	"repro/internal/iss"
+	"repro/internal/sparc"
+)
+
+// executeMulDiv drives the iterative multiply/divide unit: UMUL/SMUL run a
+// byte-per-cycle partial-product accumulation (5-cycle latency, like the
+// LEON3 32x32 multiplier), UDIV/SDIV a bit-serial restoring division over
+// the 64-bit Y:rs1 dividend (34-cycle latency). The unit's partial
+// registers (md.acc, md.quot, ...) are injectable RTL state.
+func (c *Core) executeMulDiv(op sparc.Op, a, b uint32,
+	trap func(uint8), advance, retire func(), commit func(bool, uint64, uint32)) {
+
+	isDiv := op == sparc.OpUDIV || op == sparc.OpUDIVCC || op == sparc.OpSDIV || op == sparc.OpSDIVCC
+	signedOp := op == sparc.OpSDIV || op == sparc.OpSDIVCC || op == sparc.OpSMUL || op == sparc.OpSMULCC
+
+	// Operand magnitudes and result sign (recomputed each cycle from the
+	// held EX operand registers; only partial state lives in md.*).
+	ma, mb := uint64(a), uint64(b)
+	neg := false
+	if signedOp {
+		if int32(a) < 0 {
+			ma = uint64(uint32(-int32(a)))
+			neg = !neg
+		}
+		if int32(b) < 0 {
+			mb = uint64(uint32(-int32(b)))
+			neg = !neg
+		}
+	}
+
+	switch cnt := c.md.count.Get(); {
+	case cnt == 0: // issue cycle
+		if isDiv {
+			if b == 0 {
+				trap(iss.TrapDivByZero)
+				return
+			}
+			dividend := c.arch.y.Get()<<32 | uint64(a)
+			if signedOp {
+				neg = false
+				if int64(dividend) < 0 {
+					dividend = uint64(-int64(dividend))
+					neg = !neg
+				}
+				if int32(b) < 0 {
+					neg = !neg
+				}
+			} else {
+				neg = false
+			}
+			divisor := mb
+			if !signedOp {
+				divisor = uint64(b)
+			}
+			c.md.acc.SetNext(dividend)
+			c.md.quot.SetNext(0)
+			c.md.neg.SetNextBool(neg)
+			c.md.ovf.SetNextBool(dividend>>32 >= divisor)
+			c.md.count.SetNext(33) // 32 bit-steps + finalize
+		} else {
+			c.md.acc.SetNext(0)
+			c.md.neg.SetNextBool(neg)
+			c.md.ovf.SetNext(0)
+			c.md.count.SetNext(mulCycles) // 4 byte-steps + finalize
+		}
+		c.wMdBusy.SetBool(true)
+		c.StallMulDiv++
+		return
+
+	case cnt > 1: // iteration
+		if isDiv {
+			if !c.md.ovf.GetBool() {
+				divisor := mb
+				if !signedOp {
+					divisor = uint64(b)
+				}
+				i := cnt - 2 // bit index 31..0
+				acc := c.md.acc.Get()
+				rem := acc >> 32
+				low := acc & 0xffffffff
+				rem = rem<<1 | (low>>i)&1
+				q := c.md.quot.Get()
+				if rem >= divisor {
+					rem -= divisor
+					q |= 1 << i
+				}
+				c.md.acc.SetNext(rem<<32 | low)
+				c.md.quot.SetNext(q)
+			}
+		} else {
+			j := mulCycles - cnt // byte index 0..3
+			part := (ma * (mb >> (8 * j) & 0xff)) << (8 * j)
+			c.md.acc.SetNext(c.md.acc.Get() + part)
+		}
+		c.md.count.SetNext(cnt - 1)
+		c.wMdBusy.SetBool(true)
+		c.StallMulDiv++
+		return
+	}
+
+	// cnt == 1: finalize and retire.
+	c.md.count.SetNext(0)
+	var res uint32
+	var cc sparc.CC
+	if isDiv {
+		q := c.md.quot.Get()
+		v := false
+		if signedOp {
+			limit := uint64(0x7fffffff)
+			if c.md.neg.GetBool() {
+				limit = 0x80000000
+			}
+			if c.md.ovf.GetBool() || q > limit {
+				v = true
+				q = limit
+			}
+			if c.md.neg.GetBool() {
+				q = uint64(uint32(-int32(uint32(q))))
+			}
+		} else if c.md.ovf.GetBool() {
+			v = true
+			q = 0xffffffff
+		}
+		res = uint32(q)
+		cc = sparc.LogicCC(res)
+		cc.V = v
+	} else {
+		prod := c.md.acc.Get()
+		if c.md.neg.GetBool() {
+			prod = -prod
+		}
+		res = uint32(prod)
+		c.arch.y.SetNext(prod >> 32)
+		cc = sparc.LogicCC(res)
+	}
+	if op.SetsCC() {
+		c.arch.icc.SetNext(uint64(cc.Bits()))
+	}
+	c.wAluOut.Set(uint64(res))
+	commit(true, c.ex.rd.Get(), res)
+	advance()
+	retire()
+}

@@ -1,0 +1,118 @@
+// Package mem provides the memory subsystem shared by the instruction set
+// simulator and the RTL processor model: a sparse big-endian memory, a
+// system bus with memory-mapped I/O, and the off-core access trace that
+// serves as the failure-manifestation boundary of the reproduced paper
+// (the point where light-lockstep cores compare their outputs).
+package mem
+
+import "fmt"
+
+// Memory map constants of the modeled system (LEON3-like).
+const (
+	RAMBase = 0x40000000 // program RAM
+	IOBase  = 0x90000000 // memory-mapped I/O region
+
+	// ExitAddr terminates the program when written; the stored word is the
+	// exit code. OutAddr is the output port benchmarks write results to.
+	ExitAddr = IOBase + 0x0
+	OutAddr  = IOBase + 0x4
+)
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, page-granular, big-endian 32-bit address space.
+// The zero value is an empty memory ready for use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 reads one byte; unmapped memory reads as zero.
+func (m *Memory) Read8(addr uint32) uint8 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v uint8) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read16 reads a big-endian halfword. addr must be 2-aligned.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.Read8(addr))<<8 | uint16(m.Read8(addr+1))
+}
+
+// Write16 writes a big-endian halfword.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Write8(addr, uint8(v>>8))
+	m.Write8(addr+1, uint8(v))
+}
+
+// Read32 reads a big-endian word. addr must be 4-aligned.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return uint32(p[off])<<24 | uint32(p[off+1])<<16 | uint32(p[off+2])<<8 | uint32(p[off+3])
+	}
+	return uint32(m.Read16(addr))<<16 | uint32(m.Read16(addr+2))
+}
+
+// Write32 writes a big-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := m.page(addr, true)
+		p[off] = uint8(v >> 24)
+		p[off+1] = uint8(v >> 16)
+		p[off+2] = uint8(v >> 8)
+		p[off+3] = uint8(v)
+		return
+	}
+	m.Write16(addr, uint16(v>>16))
+	m.Write16(addr+2, uint16(v))
+}
+
+// LoadImage copies a big-endian image to base.
+func (m *Memory) LoadImage(base uint32, image []byte) {
+	for i, b := range image {
+		m.Write8(base+uint32(i), b)
+	}
+}
+
+// Clone returns a deep copy of the memory (used to restore pristine state
+// between fault-injection runs without re-assembling the workload).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// String summarizes the mapped pages.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages}", len(m.pages))
+}

@@ -1,0 +1,93 @@
+// Package report renders the evaluation artifacts (tables and figure data
+// series) as aligned text, the way the benchmark harness prints them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Percent formats a probability as a percentage.
+func Percent(p float64) string { return fmt.Sprintf("%.1f%%", 100*p) }
+
+// Bars renders a labeled horizontal bar chart of probabilities, a crude
+// textual stand-in for the paper's bar figures.
+func Bars(title string, labels []string, values []float64, scale float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := 0
+	for _, l := range labels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	for i, l := range labels {
+		n := int(values[i] * scale)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s | %-40s %s\n", w, l, strings.Repeat("#", n), Percent(values[i]))
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("short", 1)
+	tab.AddRow("a-much-longer-name", 123456)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4+1 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All data lines share the same column start for the second field.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		cell := strings.TrimLeft(l[idx:], " ")
+		if cell == "" {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tab := &Table{Columns: []string{"x"}}
+	tab.AddRow(0.123456)
+	if tab.Rows[0][0] != "0.1235" {
+		t.Errorf("float cell = %q", tab.Rows[0][0])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.3141) != "31.4%" {
+		t.Errorf("got %q", Percent(0.3141))
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("title", []string{"aa", "b"}, []float64{0.5, 0.25}, 20)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "50.0%") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// Bar lengths proportional to values.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "#") != 10 || strings.Count(lines[2], "#") != 5 {
+		t.Errorf("bar scaling wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,143 @@
+package rtl
+
+import "fmt"
+
+// FaultModel enumerates the permanent fault models of the paper.
+type FaultModel uint8
+
+// Permanent fault models.
+const (
+	StuckAt0 FaultModel = iota
+	StuckAt1
+	OpenLine // driver disconnected; the net retains its charge
+)
+
+func (m FaultModel) String() string {
+	switch m {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case OpenLine:
+		return "open-line"
+	}
+	return "fault?"
+}
+
+// FaultModels lists all supported models.
+func FaultModels() []FaultModel { return []FaultModel{StuckAt0, StuckAt1, OpenLine} }
+
+// Node identifies one injectable bit: a bit of a signal, or a bit of one
+// word of a memory array.
+type Node struct {
+	Name string // signal or array name
+	Word int    // array word index (0 for signals)
+	Bit  int
+}
+
+func (n Node) String() string {
+	if n.Word > 0 {
+		return fmt.Sprintf("%s[%d].%d", n.Name, n.Word, n.Bit)
+	}
+	return fmt.Sprintf("%s.%d", n.Name, n.Bit)
+}
+
+// Fault is a fault model applied at a node.
+type Fault struct {
+	Node  Node
+	Model FaultModel
+}
+
+func (f Fault) String() string { return fmt.Sprintf("%v@%v", f.Model, f.Node) }
+
+// Nodes enumerates every injectable bit under the given name prefix.
+// Signals contribute width bits each; arrays contribute width bits per
+// word. This enumeration is the paper's "all available points" of a unit.
+func (k *Kernel) Nodes(prefix string) []Node {
+	var out []Node
+	for _, s := range k.signals {
+		if !hasPrefix(s.name, prefix) {
+			continue
+		}
+		for b := 0; b < s.width; b++ {
+			out = append(out, Node{Name: s.name, Bit: b})
+		}
+	}
+	for _, a := range k.arrays {
+		if !hasPrefix(a.name, prefix) {
+			continue
+		}
+		for w := 0; w < len(a.data); w++ {
+			for b := 0; b < a.width; b++ {
+				out = append(out, Node{Name: a.name, Word: w, Bit: b})
+			}
+		}
+	}
+	return out
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Inject arms a fault at its node. Stuck-at faults force the bit; an
+// open-line fault freezes the bit at its present value. Injecting on an
+// unknown node returns an error.
+func (k *Kernel) Inject(f Fault) error {
+	bit := uint64(1) << f.Node.Bit
+	for _, s := range k.signals {
+		if s.name != f.Node.Name {
+			continue
+		}
+		if f.Node.Bit >= s.width || f.Node.Word != 0 {
+			return fmt.Errorf("rtl: fault %v out of range (width %d)", f, s.width)
+		}
+		s.fMask |= bit
+		switch f.Model {
+		case StuckAt1:
+			s.fVal |= bit
+		case StuckAt0:
+			s.fVal &^= bit
+		case OpenLine:
+			s.fVal = s.fVal&^bit | s.cur&bit
+		}
+		k.faults = append(k.faults, f)
+		return nil
+	}
+	for _, a := range k.arrays {
+		if a.name != f.Node.Name {
+			continue
+		}
+		if f.Node.Bit >= a.width || f.Node.Word < 0 || f.Node.Word >= len(a.data) {
+			return fmt.Errorf("rtl: fault %v out of range", f)
+		}
+		if a.fWord >= 0 && a.fWord != f.Node.Word {
+			return fmt.Errorf("rtl: array %s already faulted at word %d", a.name, a.fWord)
+		}
+		a.fWord = f.Node.Word
+		a.fMask |= bit
+		switch f.Model {
+		case StuckAt1:
+			a.fVal |= bit
+		case StuckAt0:
+			a.fVal &^= bit
+		case OpenLine:
+			a.fVal = a.fVal&^bit | a.data[f.Node.Word]&bit
+		}
+		k.faults = append(k.faults, f)
+		return nil
+	}
+	return fmt.Errorf("rtl: unknown node %v", f.Node)
+}
+
+// Faults returns the armed faults.
+func (k *Kernel) Faults() []Fault { return k.faults }
+
+// ClearFaults removes all armed faults.
+func (k *Kernel) ClearFaults() {
+	for _, s := range k.signals {
+		s.fMask, s.fVal = 0, 0
+	}
+	for _, a := range k.arrays {
+		a.fWord, a.fMask, a.fVal = -1, 0, 0
+	}
+	k.faults = nil
+}

@@ -1,0 +1,249 @@
+// Package rtl provides a cycle-based register-transfer-level simulation
+// kernel: named, width-typed signals (wires and registers), memory arrays,
+// ordered combinational processes with a two-phase evaluate/commit clock,
+// and per-bit fault forcing.
+//
+// It plays the role the VHDL simulator plays in the reproduced paper. In
+// particular it implements simulator-command fault injection in the style
+// of MEFISTO [Jenn et al., FTCS 1994]: faults are forced onto existing
+// signals without instrumenting the model. Three permanent fault models
+// are supported — stuck-at-0, stuck-at-1 and open-line (a disconnected
+// driver whose net retains the charge it had at injection time).
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Unit tags a signal with the functional unit it belongs to, so that
+// injection nodes can be grouped the way the paper groups them (IU versus
+// CMEM, and per functional unit for the diversity weighting).
+type Unit uint8
+
+// Signal is a named RTL net carrying up to 64 bits. Registers additionally
+// hold a pending next value committed on the clock edge.
+type Signal struct {
+	name  string
+	width int
+	mask  uint64 // width mask
+
+	cur uint64 // visible value
+	nxt uint64 // pending value (registers only)
+	reg bool
+
+	fMask uint64 // faulted bits
+	fVal  uint64 // values of faulted bits
+
+	bridges []bridge // saboteur-style shorts to other nets
+}
+
+// Name returns the hierarchical signal name.
+func (s *Signal) Name() string { return s.name }
+
+// Width returns the signal width in bits.
+func (s *Signal) Width() int { return s.width }
+
+// IsReg reports whether the signal is clocked.
+func (s *Signal) IsReg() bool { return s.reg }
+
+// Get samples the signal as seen by consumers, with any injected fault
+// applied at the net.
+func (s *Signal) Get() uint64 {
+	v := (s.cur &^ s.fMask) | s.fVal
+	if s.bridges != nil {
+		v = s.applyBridges(v)
+	}
+	return v
+}
+
+// GetBool samples a 1-bit signal.
+func (s *Signal) GetBool() bool { return s.Get() != 0 }
+
+// Set drives a wire combinationally (visible to processes that run later
+// in the same cycle).
+func (s *Signal) Set(v uint64) { s.cur = v & s.mask }
+
+// SetBool drives a 1-bit wire.
+func (s *Signal) SetBool(v bool) {
+	if v {
+		s.Set(1)
+	} else {
+		s.Set(0)
+	}
+}
+
+// SetNext schedules a register value for the next clock edge.
+func (s *Signal) SetNext(v uint64) { s.nxt = v & s.mask }
+
+// SetNextBool schedules a 1-bit register value.
+func (s *Signal) SetNextBool(v bool) {
+	if v {
+		s.SetNext(1)
+	} else {
+		s.SetNext(0)
+	}
+}
+
+// Next returns the currently scheduled next value (used by hold logic to
+// re-schedule the present value).
+func (s *Signal) Next() uint64 { return s.nxt }
+
+// Hold re-schedules the current committed value, stalling the register.
+func (s *Signal) Hold() { s.nxt = s.cur }
+
+// MemArray is an addressable RTL memory block (register file, cache tag or
+// data RAM) with per-bit fault support on a single cell at a time.
+type MemArray struct {
+	name  string
+	width int
+	mask  uint64
+	data  []uint64
+
+	fWord int // faulted word (-1 when clean)
+	fMask uint64
+	fVal  uint64
+}
+
+// Name returns the array name.
+func (a *MemArray) Name() string { return a.name }
+
+// Len returns the number of words.
+func (a *MemArray) Len() int { return len(a.data) }
+
+// Width returns the word width in bits.
+func (a *MemArray) Width() int { return a.width }
+
+// Read samples word i with any injected fault applied.
+func (a *MemArray) Read(i int) uint64 {
+	v := a.data[i]
+	if i == a.fWord {
+		v = (v &^ a.fMask) | a.fVal
+	}
+	return v
+}
+
+// Write stores word i. Faulted bits ignore the write (the cell is stuck).
+func (a *MemArray) Write(i int, v uint64) { a.data[i] = v & a.mask }
+
+// Kernel owns the signals, arrays and processes of a design and advances
+// it cycle by cycle.
+type Kernel struct {
+	signals []*Signal
+	arrays  []*MemArray
+	units   map[string]Unit // per signal/array name
+	procs   []func()
+	cycle   uint64
+
+	faults []Fault
+}
+
+// NewKernel returns an empty design.
+func NewKernel() *Kernel {
+	return &Kernel{units: make(map[string]Unit)}
+}
+
+func (k *Kernel) addSignal(name string, width int, unit Unit, reg bool) *Signal {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("rtl: signal %s: bad width %d", name, width))
+	}
+	if _, dup := k.units[name]; dup {
+		panic(fmt.Sprintf("rtl: duplicate name %s", name))
+	}
+	s := &Signal{name: name, width: width, reg: reg}
+	if width == 64 {
+		s.mask = ^uint64(0)
+	} else {
+		s.mask = 1<<width - 1
+	}
+	k.signals = append(k.signals, s)
+	k.units[name] = unit
+	return s
+}
+
+// Wire declares a combinational signal.
+func (k *Kernel) Wire(name string, width int, unit Unit) *Signal {
+	return k.addSignal(name, width, unit, false)
+}
+
+// Reg declares a clocked signal.
+func (k *Kernel) Reg(name string, width int, unit Unit) *Signal {
+	return k.addSignal(name, width, unit, true)
+}
+
+// Array declares a memory block of n words.
+func (k *Kernel) Array(name string, width, n int, unit Unit) *MemArray {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("rtl: array %s: bad width %d", name, width))
+	}
+	if _, dup := k.units[name]; dup {
+		panic(fmt.Sprintf("rtl: duplicate name %s", name))
+	}
+	a := &MemArray{name: name, width: width, data: make([]uint64, n), fWord: -1}
+	if width == 64 {
+		a.mask = ^uint64(0)
+	} else {
+		a.mask = 1<<width - 1
+	}
+	k.arrays = append(k.arrays, a)
+	k.units[name] = unit
+	return a
+}
+
+// Comb appends a combinational process; processes run in registration
+// order each cycle, so producers must be registered before consumers.
+func (k *Kernel) Comb(p func()) { k.procs = append(k.procs, p) }
+
+// Cycle evaluates all combinational processes once and commits registers.
+func (k *Kernel) Cycle() {
+	for _, p := range k.procs {
+		p()
+	}
+	for _, s := range k.signals {
+		if s.reg {
+			s.cur = s.nxt
+		}
+	}
+	k.cycle++
+}
+
+// Now returns the number of elapsed cycles.
+func (k *Kernel) Now() uint64 { return k.cycle }
+
+// UnitOf returns the functional unit a signal or array name was declared
+// under.
+func (k *Kernel) UnitOf(name string) Unit { return k.units[name] }
+
+// Signals returns the declared signals (stable order).
+func (k *Kernel) Signals() []*Signal { return k.signals }
+
+// Arrays returns the declared memory blocks (stable order).
+func (k *Kernel) Arrays() []*MemArray { return k.arrays }
+
+// String summarizes the design.
+func (k *Kernel) String() string {
+	bits := 0
+	for _, s := range k.signals {
+		bits += s.width
+	}
+	abits := 0
+	for _, a := range k.arrays {
+		abits += a.width * len(a.data)
+	}
+	return fmt.Sprintf("rtl{%d signals (%d bits), %d arrays (%d bits), %d procs}",
+		len(k.signals), bits, len(k.arrays), abits, len(k.procs))
+}
+
+// SignalNamesByPrefix returns the names of signals and arrays under a
+// hierarchy prefix, sorted.
+func (k *Kernel) SignalNamesByPrefix(prefix string) []string {
+	var out []string
+	for name := range k.units {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

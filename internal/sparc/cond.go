@@ -1,0 +1,109 @@
+package sparc
+
+// CC holds the SPARC integer condition codes (the icc field of the PSR).
+type CC struct {
+	N bool // negative
+	Z bool // zero
+	V bool // overflow
+	C bool // carry
+}
+
+// Bits packs the condition codes into the 4-bit icc encoding (N Z V C from
+// bit 3 down to bit 0), matching PSR bits 23:20.
+func (cc CC) Bits() uint32 {
+	var b uint32
+	if cc.N {
+		b |= 8
+	}
+	if cc.Z {
+		b |= 4
+	}
+	if cc.V {
+		b |= 2
+	}
+	if cc.C {
+		b |= 1
+	}
+	return b
+}
+
+// CCFromBits unpacks the 4-bit icc encoding.
+func CCFromBits(b uint32) CC {
+	return CC{N: b&8 != 0, Z: b&4 != 0, V: b&2 != 0, C: b&1 != 0}
+}
+
+// EvalCond evaluates a Bicc/Ticc condition field against the condition
+// codes, returning whether the branch is taken (or the trap fires).
+func EvalCond(cond uint32, cc CC) bool {
+	switch cond & 15 {
+	case 0: // never
+		return false
+	case 1: // equal
+		return cc.Z
+	case 2: // less or equal
+		return cc.Z || (cc.N != cc.V)
+	case 3: // less
+		return cc.N != cc.V
+	case 4: // less or equal unsigned
+		return cc.C || cc.Z
+	case 5: // carry set
+		return cc.C
+	case 6: // negative
+		return cc.N
+	case 7: // overflow set
+		return cc.V
+	case 8: // always
+		return true
+	case 9: // not equal
+		return !cc.Z
+	case 10: // greater
+		return !(cc.Z || (cc.N != cc.V))
+	case 11: // greater or equal
+		return cc.N == cc.V
+	case 12: // greater unsigned
+		return !(cc.C || cc.Z)
+	case 13: // carry clear
+		return !cc.C
+	case 14: // positive
+		return !cc.N
+	default: // 15: overflow clear
+		return !cc.V
+	}
+}
+
+// AddCC computes a+b(+carry) and the resulting condition codes per the V8
+// ADD/ADDX semantics.
+func AddCC(a, b uint32, carryIn bool) (sum uint32, cc CC) {
+	c := uint64(0)
+	if carryIn {
+		c = 1
+	}
+	wide := uint64(a) + uint64(b) + c
+	sum = uint32(wide)
+	cc.N = int32(sum) < 0
+	cc.Z = sum == 0
+	cc.V = (a>>31 == b>>31) && (sum>>31 != a>>31)
+	cc.C = wide>>32 != 0
+	return sum, cc
+}
+
+// SubCC computes a-b(-carry) and the resulting condition codes per the V8
+// SUB/SUBX semantics.
+func SubCC(a, b uint32, carryIn bool) (diff uint32, cc CC) {
+	c := uint64(0)
+	if carryIn {
+		c = 1
+	}
+	wide := uint64(a) - uint64(b) - c
+	diff = uint32(wide)
+	cc.N = int32(diff) < 0
+	cc.Z = diff == 0
+	cc.V = (a>>31 != b>>31) && (diff>>31 != a>>31)
+	cc.C = wide>>32 != 0 // borrow
+	return diff, cc
+}
+
+// LogicCC computes the condition codes of a logical result (V and C clear).
+func LogicCC(res uint32) CC {
+	return CC{N: int32(res) < 0, Z: res == 0}
+}

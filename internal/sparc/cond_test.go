@@ -1,0 +1,142 @@
+package sparc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalCondExhaustive(t *testing.T) {
+	// For every icc combination, check the definitional identities between
+	// each condition and its negation.
+	pairs := []struct{ a, b uint32 }{
+		{8, 0},  // BA / BN
+		{1, 9},  // BE / BNE
+		{2, 10}, // BLE / BG
+		{3, 11}, // BL / BGE
+		{4, 12}, // BLEU / BGU
+		{5, 13}, // BCS / BCC
+		{6, 14}, // BNEG / BPOS
+		{7, 15}, // BVS / BVC
+	}
+	for bits := uint32(0); bits < 16; bits++ {
+		cc := CCFromBits(bits)
+		if cc.Bits() != bits {
+			t.Fatalf("CC bits round trip failed for %#x", bits)
+		}
+		for _, p := range pairs {
+			if EvalCond(p.a, cc) == EvalCond(p.b, cc) {
+				t.Errorf("cond %d and %d not complementary for icc=%04b", p.a, p.b, bits)
+			}
+		}
+	}
+}
+
+func TestEvalCondSignedComparisons(t *testing.T) {
+	// subcc a, b then conditions must match Go comparisons.
+	cases := []struct{ a, b int32 }{
+		{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, -1}, {5, 5},
+		{-2147483648, 1}, {2147483647, -1}, {-5, -7}, {100, 99},
+	}
+	for _, c := range cases {
+		_, cc := SubCC(uint32(c.a), uint32(c.b), false)
+		checks := []struct {
+			cond uint32
+			want bool
+			name string
+		}{
+			{1, c.a == c.b, "be"},
+			{9, c.a != c.b, "bne"},
+			{3, c.a < c.b, "bl"},
+			{2, c.a <= c.b, "ble"},
+			{10, c.a > c.b, "bg"},
+			{11, c.a >= c.b, "bge"},
+		}
+		for _, ch := range checks {
+			if got := EvalCond(ch.cond, cc); got != ch.want {
+				t.Errorf("%s after subcc(%d,%d) = %v, want %v", ch.name, c.a, c.b, got, ch.want)
+			}
+		}
+	}
+}
+
+func TestEvalCondUnsignedComparisons(t *testing.T) {
+	f := func(a, b uint32) bool {
+		_, cc := SubCC(a, b, false)
+		return EvalCond(12, cc) == (a > b) && // bgu
+			EvalCond(4, cc) == (a <= b) && // bleu
+			EvalCond(13, cc) == (a >= b) && // bcc
+			EvalCond(5, cc) == (a < b) // bcs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCCProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sum, cc := AddCC(a, b, false)
+		if sum != a+b {
+			return false
+		}
+		if cc.Z != (sum == 0) || cc.N != (int32(sum) < 0) {
+			return false
+		}
+		// Carry out iff unsigned overflow.
+		if cc.C != (uint64(a)+uint64(b) > 0xffffffff) {
+			return false
+		}
+		// Signed overflow iff operands same sign and result flips.
+		want := int64(int32(a)) + int64(int32(b))
+		return cc.V == (want < -2147483648 || want > 2147483647)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCCProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		diff, cc := SubCC(a, b, false)
+		if diff != a-b {
+			return false
+		}
+		if cc.C != (a < b) { // borrow
+			return false
+		}
+		want := int64(int32(a)) - int64(int32(b))
+		return cc.V == (want < -2147483648 || want > 2147483647)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubCarryChain(t *testing.T) {
+	// addcc/addxcc 64-bit addition: (a1:a0) + (b1:b0).
+	add64 := func(a1, a0, b1, b0 uint32) (uint32, uint32) {
+		lo, cc := AddCC(a0, b0, false)
+		hi, _ := AddCC(a1, b1, cc.C)
+		return hi, lo
+	}
+	hi, lo := add64(0, 0xffffffff, 0, 1)
+	if hi != 1 || lo != 0 {
+		t.Errorf("64-bit add = %#x:%#x, want 1:0", hi, lo)
+	}
+	f := func(a, b uint64) bool {
+		hi, lo := add64(uint32(a>>32), uint32(a), uint32(b>>32), uint32(b))
+		s := a + b
+		return hi == uint32(s>>32) && lo == uint32(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicCC(t *testing.T) {
+	if cc := LogicCC(0); !cc.Z || cc.N || cc.V || cc.C {
+		t.Error("LogicCC(0) wrong")
+	}
+	if cc := LogicCC(0x80000000); cc.Z || !cc.N {
+		t.Error("LogicCC(min int) wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package sparc
+
+// op3ToOpArith maps the op3 field of format-3 op=2 instructions to the
+// instruction type. Entries left as OpUnknown decode to OpUnknown and trap
+// as illegal instructions in the simulators.
+var op3ToOpArith = [64]Op{
+	0x00: OpADD, 0x01: OpAND, 0x02: OpOR, 0x03: OpXOR,
+	0x04: OpSUB, 0x05: OpANDN, 0x06: OpORN, 0x07: OpXNOR,
+	0x08: OpADDX, 0x0a: OpUMUL, 0x0b: OpSMUL, 0x0c: OpSUBX,
+	0x0e: OpUDIV, 0x0f: OpSDIV,
+	0x10: OpADDCC, 0x11: OpANDCC, 0x12: OpORCC, 0x13: OpXORCC,
+	0x14: OpSUBCC, 0x15: OpANDNCC, 0x16: OpORNCC, 0x17: OpXNORCC,
+	0x18: OpADDXCC, 0x1a: OpUMULCC, 0x1b: OpSMULCC, 0x1c: OpSUBXCC,
+	0x1e: OpUDIVCC, 0x1f: OpSDIVCC,
+	0x20: OpTADDCC, 0x21: OpTSUBCC, 0x24: OpMULSCC,
+	0x25: OpSLL, 0x26: OpSRL, 0x27: OpSRA,
+	0x28: OpRDY, 0x29: OpRDPSR, 0x2a: OpRDWIM, 0x2b: OpRDTBR,
+	0x30: OpWRY, 0x31: OpWRPSR, 0x32: OpWRWIM, 0x33: OpWRTBR,
+	0x38: OpJMPL, 0x39: OpRETT, 0x3c: OpSAVE, 0x3d: OpRESTORE,
+}
+
+// op3ToOpMem maps the op3 field of format-3 op=3 instructions.
+var op3ToOpMem = [64]Op{
+	0x00: OpLD, 0x01: OpLDUB, 0x02: OpLDUH, 0x03: OpLDD,
+	0x04: OpST, 0x05: OpSTB, 0x06: OpSTH, 0x07: OpSTD,
+	0x09: OpLDSB, 0x0a: OpLDSH, 0x0d: OpLDSTUB, 0x0f: OpSWAP,
+}
+
+// condToBicc maps the Bicc condition field to the branch instruction type.
+var condToBicc = [16]Op{
+	0: OpBN, 1: OpBE, 2: OpBLE, 3: OpBL, 4: OpBLEU, 5: OpBCS,
+	6: OpBNEG, 7: OpBVS, 8: OpBA, 9: OpBNE, 10: OpBG, 11: OpBGE,
+	12: OpBGU, 13: OpBCC, 14: OpBPOS, 15: OpBVC,
+}
+
+// condToTicc maps the Ticc condition field to the trap instruction type.
+var condToTicc = [16]Op{
+	0: OpTN, 1: OpTE, 2: OpTLE, 3: OpTL, 4: OpTLEU, 5: OpTCS,
+	6: OpTNEG, 7: OpTVS, 8: OpTA, 9: OpTNE, 10: OpTG, 11: OpTGE,
+	12: OpTGU, 13: OpTCC, 14: OpTPOS, 15: OpTVC,
+}
+
+// signExt sign-extends the low n bits of v.
+func signExt(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// Decode decodes a 32-bit SPARC V8 instruction word. Unrecognized encodings
+// decode to an Inst with Op == OpUnknown.
+func Decode(word uint32) Inst {
+	in := Inst{Raw: word}
+	switch word >> 30 {
+	case 1: // format 1: CALL
+		in.Op = OpCALL
+		in.Disp30 = signExt(word&0x3fffffff, 30)
+		in.Rd = 15
+	case 0: // format 2: SETHI / Bicc
+		op2 := (word >> 22) & 7
+		switch op2 {
+		case 4: // SETHI
+			in.Op = OpSETHI
+			in.Rd = int((word >> 25) & 31)
+			in.Imm22 = int32(word & 0x3fffff)
+		case 2: // Bicc
+			cond := (word >> 25) & 15
+			in.Op = condToBicc[cond]
+			in.Annul = word&(1<<29) != 0
+			in.Imm22 = signExt(word&0x3fffff, 22)
+		default:
+			in.Op = OpUnknown
+		}
+	case 2, 3: // format 3
+		op3 := (word >> 19) & 63
+		ticc := false
+		if word>>30 == 2 {
+			in.Op = op3ToOpArith[op3]
+			if op3 == 0x3a { // Ticc: the rd field holds the condition
+				in.Op = condToTicc[(word>>25)&15]
+				ticc = true
+			}
+		} else {
+			in.Op = op3ToOpMem[op3]
+		}
+		if !ticc {
+			in.Rd = int((word >> 25) & 31)
+		}
+		in.Rs1 = int((word >> 14) & 31)
+		if word&(1<<13) != 0 {
+			in.Imm = true
+			in.Simm13 = signExt(word&0x1fff, 13)
+		} else {
+			in.Rs2 = int(word & 31)
+			in.Asi = uint8((word >> 5) & 0xff)
+		}
+	}
+	return in
+}
+
+// Encode builds the instruction word for a decoded instruction. It is the
+// inverse of Decode for all instruction types this package defines and is
+// the single encoder used by the assembler.
+func Encode(in Inst) uint32 {
+	info := opTable[in.Op]
+	switch info.format {
+	case 1:
+		return 1<<30 | uint32(in.Disp30)&0x3fffffff
+	case 2:
+		if in.Op == OpSETHI {
+			return uint32(in.Rd)<<25 | 4<<22 | uint32(in.Imm22)&0x3fffff
+		}
+		w := info.cond<<25 | 2<<22 | uint32(in.Imm22)&0x3fffff
+		if in.Annul {
+			w |= 1 << 29
+		}
+		return w
+	case 3:
+		w := info.op<<30 | uint32(in.Rd)<<25 | info.op3<<19 | uint32(in.Rs1)<<14
+		if in.Op.IsTicc() {
+			w = info.op<<30 | info.cond<<25 | info.op3<<19 | uint32(in.Rs1)<<14
+		}
+		if in.Imm {
+			w |= 1<<13 | uint32(in.Simm13)&0x1fff
+		} else {
+			w |= uint32(in.Asi)<<5 | uint32(in.Rs2)&31
+		}
+		return w
+	}
+	return 0
+}

@@ -1,0 +1,315 @@
+// Package sparc defines the SPARC V8 integer instruction set architecture:
+// instruction formats, opcode enumeration, decoding, disassembly, integer
+// condition codes and the mapping from instruction types to the processor
+// functional units they exercise.
+//
+// The package is the shared substrate of the instruction set simulator
+// (internal/iss), the assembler (internal/asm) and the RTL processor model
+// (internal/leon3). "Instruction type" in the sense of the reproduced paper
+// (the diversity metric) corresponds to one Op value: branch and trap
+// condition variants are distinct types, exactly as distinct opcodes.
+package sparc
+
+import "fmt"
+
+// Op enumerates the SPARC V8 integer instruction types recognized by this
+// reproduction. Each value is one "instruction type (opcode)" as counted by
+// the instruction-diversity metric.
+type Op uint8
+
+// Instruction types. Grouping follows The SPARC Architecture Manual V8.
+const (
+	OpUnknown Op = iota
+
+	// Format 2: SETHI and integer conditional branches.
+	OpSETHI
+	OpBA
+	OpBN
+	OpBNE
+	OpBE
+	OpBG
+	OpBLE
+	OpBGE
+	OpBL
+	OpBGU
+	OpBLEU
+	OpBCC
+	OpBCS
+	OpBPOS
+	OpBNEG
+	OpBVC
+	OpBVS
+
+	// Format 1.
+	OpCALL
+
+	// Format 3, op=2: arithmetic, logical, shift.
+	OpADD
+	OpADDCC
+	OpADDX
+	OpADDXCC
+	OpSUB
+	OpSUBCC
+	OpSUBX
+	OpSUBXCC
+	OpAND
+	OpANDCC
+	OpANDN
+	OpANDNCC
+	OpOR
+	OpORCC
+	OpORN
+	OpORNCC
+	OpXOR
+	OpXORCC
+	OpXNOR
+	OpXNORCC
+	OpTADDCC
+	OpTSUBCC
+	OpMULSCC
+	OpSLL
+	OpSRL
+	OpSRA
+	OpUMUL
+	OpUMULCC
+	OpSMUL
+	OpSMULCC
+	OpUDIV
+	OpUDIVCC
+	OpSDIV
+	OpSDIVCC
+
+	// Format 3, op=2: control and state registers.
+	OpSAVE
+	OpRESTORE
+	OpJMPL
+	OpRETT
+	OpRDY
+	OpWRY
+	OpRDPSR
+	OpWRPSR
+	OpRDWIM
+	OpWRWIM
+	OpRDTBR
+	OpWRTBR
+
+	// Format 3, op=2: trap on integer condition codes.
+	OpTA
+	OpTN
+	OpTNE
+	OpTE
+	OpTG
+	OpTLE
+	OpTGE
+	OpTL
+	OpTGU
+	OpTLEU
+	OpTCC
+	OpTCS
+	OpTPOS
+	OpTNEG
+	OpTVC
+	OpTVS
+
+	// Format 3, op=3: loads and stores.
+	OpLD
+	OpLDUB
+	OpLDSB
+	OpLDUH
+	OpLDSH
+	OpLDD
+	OpST
+	OpSTB
+	OpSTH
+	OpSTD
+	OpLDSTUB
+	OpSWAP
+
+	// NumOps is the number of instruction types including OpUnknown.
+	NumOps
+)
+
+// opInfo is the static description of one instruction type.
+type opInfo struct {
+	name    string
+	format  int // 1 = CALL, 2 = SETHI/Bicc, 3 = op=2 or op=3
+	op      uint32
+	op3     uint32 // op=2/3 formats
+	cond    uint32 // Bicc/Ticc condition field
+	load    bool
+	store   bool
+	branch  bool
+	setsCC  bool
+	readsCC bool
+}
+
+var opTable = [NumOps]opInfo{
+	OpUnknown: {name: "unknown"},
+
+	OpSETHI: {name: "sethi", format: 2, op: 0},
+	OpBA:    {name: "ba", format: 2, op: 0, cond: 8, branch: true},
+	OpBN:    {name: "bn", format: 2, op: 0, cond: 0, branch: true},
+	OpBNE:   {name: "bne", format: 2, op: 0, cond: 9, branch: true, readsCC: true},
+	OpBE:    {name: "be", format: 2, op: 0, cond: 1, branch: true, readsCC: true},
+	OpBG:    {name: "bg", format: 2, op: 0, cond: 10, branch: true, readsCC: true},
+	OpBLE:   {name: "ble", format: 2, op: 0, cond: 2, branch: true, readsCC: true},
+	OpBGE:   {name: "bge", format: 2, op: 0, cond: 11, branch: true, readsCC: true},
+	OpBL:    {name: "bl", format: 2, op: 0, cond: 3, branch: true, readsCC: true},
+	OpBGU:   {name: "bgu", format: 2, op: 0, cond: 12, branch: true, readsCC: true},
+	OpBLEU:  {name: "bleu", format: 2, op: 0, cond: 4, branch: true, readsCC: true},
+	OpBCC:   {name: "bcc", format: 2, op: 0, cond: 13, branch: true, readsCC: true},
+	OpBCS:   {name: "bcs", format: 2, op: 0, cond: 5, branch: true, readsCC: true},
+	OpBPOS:  {name: "bpos", format: 2, op: 0, cond: 14, branch: true, readsCC: true},
+	OpBNEG:  {name: "bneg", format: 2, op: 0, cond: 6, branch: true, readsCC: true},
+	OpBVC:   {name: "bvc", format: 2, op: 0, cond: 15, branch: true, readsCC: true},
+	OpBVS:   {name: "bvs", format: 2, op: 0, cond: 7, branch: true, readsCC: true},
+
+	OpCALL: {name: "call", format: 1, op: 1, branch: true},
+
+	OpADD:     {name: "add", format: 3, op: 2, op3: 0x00},
+	OpAND:     {name: "and", format: 3, op: 2, op3: 0x01},
+	OpOR:      {name: "or", format: 3, op: 2, op3: 0x02},
+	OpXOR:     {name: "xor", format: 3, op: 2, op3: 0x03},
+	OpSUB:     {name: "sub", format: 3, op: 2, op3: 0x04},
+	OpANDN:    {name: "andn", format: 3, op: 2, op3: 0x05},
+	OpORN:     {name: "orn", format: 3, op: 2, op3: 0x06},
+	OpXNOR:    {name: "xnor", format: 3, op: 2, op3: 0x07},
+	OpADDX:    {name: "addx", format: 3, op: 2, op3: 0x08, readsCC: true},
+	OpUMUL:    {name: "umul", format: 3, op: 2, op3: 0x0a},
+	OpSMUL:    {name: "smul", format: 3, op: 2, op3: 0x0b},
+	OpSUBX:    {name: "subx", format: 3, op: 2, op3: 0x0c, readsCC: true},
+	OpUDIV:    {name: "udiv", format: 3, op: 2, op3: 0x0e},
+	OpSDIV:    {name: "sdiv", format: 3, op: 2, op3: 0x0f},
+	OpADDCC:   {name: "addcc", format: 3, op: 2, op3: 0x10, setsCC: true},
+	OpANDCC:   {name: "andcc", format: 3, op: 2, op3: 0x11, setsCC: true},
+	OpORCC:    {name: "orcc", format: 3, op: 2, op3: 0x12, setsCC: true},
+	OpXORCC:   {name: "xorcc", format: 3, op: 2, op3: 0x13, setsCC: true},
+	OpSUBCC:   {name: "subcc", format: 3, op: 2, op3: 0x14, setsCC: true},
+	OpANDNCC:  {name: "andncc", format: 3, op: 2, op3: 0x15, setsCC: true},
+	OpORNCC:   {name: "orncc", format: 3, op: 2, op3: 0x16, setsCC: true},
+	OpXNORCC:  {name: "xnorcc", format: 3, op: 2, op3: 0x17, setsCC: true},
+	OpADDXCC:  {name: "addxcc", format: 3, op: 2, op3: 0x18, setsCC: true, readsCC: true},
+	OpUMULCC:  {name: "umulcc", format: 3, op: 2, op3: 0x1a, setsCC: true},
+	OpSMULCC:  {name: "smulcc", format: 3, op: 2, op3: 0x1b, setsCC: true},
+	OpSUBXCC:  {name: "subxcc", format: 3, op: 2, op3: 0x1c, setsCC: true, readsCC: true},
+	OpUDIVCC:  {name: "udivcc", format: 3, op: 2, op3: 0x1e, setsCC: true},
+	OpSDIVCC:  {name: "sdivcc", format: 3, op: 2, op3: 0x1f, setsCC: true},
+	OpTADDCC:  {name: "taddcc", format: 3, op: 2, op3: 0x20, setsCC: true},
+	OpTSUBCC:  {name: "tsubcc", format: 3, op: 2, op3: 0x21, setsCC: true},
+	OpMULSCC:  {name: "mulscc", format: 3, op: 2, op3: 0x24, setsCC: true, readsCC: true},
+	OpSLL:     {name: "sll", format: 3, op: 2, op3: 0x25},
+	OpSRL:     {name: "srl", format: 3, op: 2, op3: 0x26},
+	OpSRA:     {name: "sra", format: 3, op: 2, op3: 0x27},
+	OpRDY:     {name: "rd", format: 3, op: 2, op3: 0x28},
+	OpRDPSR:   {name: "rd", format: 3, op: 2, op3: 0x29},
+	OpRDWIM:   {name: "rd", format: 3, op: 2, op3: 0x2a},
+	OpRDTBR:   {name: "rd", format: 3, op: 2, op3: 0x2b},
+	OpWRY:     {name: "wr", format: 3, op: 2, op3: 0x30},
+	OpWRPSR:   {name: "wr", format: 3, op: 2, op3: 0x31},
+	OpWRWIM:   {name: "wr", format: 3, op: 2, op3: 0x32},
+	OpWRTBR:   {name: "wr", format: 3, op: 2, op3: 0x33},
+	OpJMPL:    {name: "jmpl", format: 3, op: 2, op3: 0x38, branch: true},
+	OpRETT:    {name: "rett", format: 3, op: 2, op3: 0x39, branch: true},
+	OpSAVE:    {name: "save", format: 3, op: 2, op3: 0x3c},
+	OpRESTORE: {name: "restore", format: 3, op: 2, op3: 0x3d},
+
+	OpTA:   {name: "ta", format: 3, op: 2, op3: 0x3a, cond: 8},
+	OpTN:   {name: "tn", format: 3, op: 2, op3: 0x3a, cond: 0},
+	OpTNE:  {name: "tne", format: 3, op: 2, op3: 0x3a, cond: 9, readsCC: true},
+	OpTE:   {name: "te", format: 3, op: 2, op3: 0x3a, cond: 1, readsCC: true},
+	OpTG:   {name: "tg", format: 3, op: 2, op3: 0x3a, cond: 10, readsCC: true},
+	OpTLE:  {name: "tle", format: 3, op: 2, op3: 0x3a, cond: 2, readsCC: true},
+	OpTGE:  {name: "tge", format: 3, op: 2, op3: 0x3a, cond: 11, readsCC: true},
+	OpTL:   {name: "tl", format: 3, op: 2, op3: 0x3a, cond: 3, readsCC: true},
+	OpTGU:  {name: "tgu", format: 3, op: 2, op3: 0x3a, cond: 12, readsCC: true},
+	OpTLEU: {name: "tleu", format: 3, op: 2, op3: 0x3a, cond: 4, readsCC: true},
+	OpTCC:  {name: "tcc", format: 3, op: 2, op3: 0x3a, cond: 13, readsCC: true},
+	OpTCS:  {name: "tcs", format: 3, op: 2, op3: 0x3a, cond: 5, readsCC: true},
+	OpTPOS: {name: "tpos", format: 3, op: 2, op3: 0x3a, cond: 14, readsCC: true},
+	OpTNEG: {name: "tneg", format: 3, op: 2, op3: 0x3a, cond: 6, readsCC: true},
+	OpTVC:  {name: "tvc", format: 3, op: 2, op3: 0x3a, cond: 15, readsCC: true},
+	OpTVS:  {name: "tvs", format: 3, op: 2, op3: 0x3a, cond: 7, readsCC: true},
+
+	OpLD:     {name: "ld", format: 3, op: 3, op3: 0x00, load: true},
+	OpLDUB:   {name: "ldub", format: 3, op: 3, op3: 0x01, load: true},
+	OpLDUH:   {name: "lduh", format: 3, op: 3, op3: 0x02, load: true},
+	OpLDD:    {name: "ldd", format: 3, op: 3, op3: 0x03, load: true},
+	OpST:     {name: "st", format: 3, op: 3, op3: 0x04, store: true},
+	OpSTB:    {name: "stb", format: 3, op: 3, op3: 0x05, store: true},
+	OpSTH:    {name: "sth", format: 3, op: 3, op3: 0x06, store: true},
+	OpSTD:    {name: "std", format: 3, op: 3, op3: 0x07, store: true},
+	OpLDSB:   {name: "ldsb", format: 3, op: 3, op3: 0x09, load: true},
+	OpLDSH:   {name: "ldsh", format: 3, op: 3, op3: 0x0a, load: true},
+	OpLDSTUB: {name: "ldstub", format: 3, op: 3, op3: 0x0d, load: true, store: true},
+	OpSWAP:   {name: "swap", format: 3, op: 3, op3: 0x0f, load: true, store: true},
+}
+
+// String returns the assembler mnemonic of the instruction type.
+func (o Op) String() string {
+	if o >= NumOps {
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+	switch o {
+	case OpRDY:
+		return "rdy"
+	case OpRDPSR:
+		return "rdpsr"
+	case OpRDWIM:
+		return "rdwim"
+	case OpRDTBR:
+		return "rdtbr"
+	case OpWRY:
+		return "wry"
+	case OpWRPSR:
+		return "wrpsr"
+	case OpWRWIM:
+		return "wrwim"
+	case OpWRTBR:
+		return "wrtbr"
+	}
+	return opTable[o].name
+}
+
+// info returns the opcode descriptor, mapping out-of-range values (which
+// can arise from faults injected on decoded-opcode RTL signals) to the
+// OpUnknown descriptor.
+func (o Op) info() *opInfo {
+	if o >= NumOps {
+		o = OpUnknown
+	}
+	return &opTable[o]
+}
+
+// IsLoad reports whether the instruction type reads memory.
+func (o Op) IsLoad() bool { return o.info().load }
+
+// IsStore reports whether the instruction type writes memory.
+func (o Op) IsStore() bool { return o.info().store }
+
+// IsMemory reports whether the instruction type accesses memory.
+func (o Op) IsMemory() bool { return o.info().load || o.info().store }
+
+// IsBranch reports whether the instruction type is a control transfer
+// (conditional branch, call, jmpl or rett).
+func (o Op) IsBranch() bool { return o.info().branch }
+
+// IsBicc reports whether the instruction type is a format-2 conditional
+// branch.
+func (o Op) IsBicc() bool { return o >= OpBA && o <= OpBVS }
+
+// IsTicc reports whether the instruction type is a trap-on-condition.
+func (o Op) IsTicc() bool { return o >= OpTA && o <= OpTVS }
+
+// SetsCC reports whether the instruction type writes the integer condition
+// codes.
+func (o Op) SetsCC() bool { return o.info().setsCC }
+
+// ReadsCC reports whether the instruction type reads the integer condition
+// codes.
+func (o Op) ReadsCC() bool { return o.info().readsCC }
+
+// Cond returns the condition field for Bicc/Ticc instruction types.
+func (o Op) Cond() uint32 { return o.info().cond }
+
+// Format returns the SPARC instruction format (1, 2 or 3) of the type.
+func (o Op) Format() int { return o.info().format }

@@ -1,0 +1,102 @@
+package sparc
+
+// Unit identifies a processor functional unit for the purposes of the
+// instruction-diversity metric (Dm in the paper) and of grouping RTL
+// injection nodes. The first group belongs to the integer unit (IU), the
+// second to the cache memory (CMEM).
+type Unit uint8
+
+// Functional units of the modeled LEON3-like microcontroller.
+const (
+	UnitFetch   Unit = iota // instruction address generation and fetch
+	UnitDecode              // instruction decode and control
+	UnitRegfile             // windowed register file and ports
+	UnitALU                 // adder/logic datapath
+	UnitShifter             // barrel shifter
+	UnitMulDiv              // iterative multiply/divide unit
+	UnitBranch              // condition evaluation and branch target
+	UnitLSU                 // load/store unit, data alignment
+	UnitPSR                 // PSR/WIM/TBR/Y special registers, traps
+	UnitCCtrl               // cache controller state machines
+	UnitCTag                // cache tag arrays and comparators
+	UnitCData               // cache data arrays
+
+	// NumUnits is the number of functional units.
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"fetch", "decode", "regfile", "alu", "shifter", "muldiv",
+	"branch", "lsu", "psr", "cctrl", "ctag", "cdata",
+}
+
+// String returns the unit name.
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "unit?"
+}
+
+// IsIU reports whether the unit belongs to the integer unit.
+func (u Unit) IsIU() bool { return u <= UnitPSR }
+
+// IsCMEM reports whether the unit belongs to the cache memory.
+func (u Unit) IsCMEM() bool { return u >= UnitCCtrl && u < NumUnits }
+
+// UnitSet is a bit set of functional units.
+type UnitSet uint16
+
+// Add returns the set with u added.
+func (s UnitSet) Add(u Unit) UnitSet { return s | 1<<u }
+
+// Has reports whether u is in the set.
+func (s UnitSet) Has(u Unit) bool { return s&(1<<u) != 0 }
+
+// Units returns the members of the set in ascending order.
+func (s UnitSet) Units() []Unit {
+	var out []Unit
+	for u := Unit(0); u < NumUnits; u++ {
+		if s.Has(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UnitsOf returns the set of functional units instruction type o exercises.
+// Every executed instruction flows through fetch, decode and the register
+// file; beyond that the set depends on the type, which is what makes
+// per-unit diversity discriminate workloads (paper §3 items 1 and 2).
+// Memory instructions additionally exercise the cache units.
+func UnitsOf(o Op) UnitSet {
+	s := UnitSet(0).Add(UnitFetch).Add(UnitDecode).Add(UnitRegfile)
+	info := o.info()
+	switch {
+	case o == OpSETHI:
+		s = s.Add(UnitALU)
+	case o.IsBicc():
+		s = s.Add(UnitBranch)
+	case o == OpCALL || o == OpJMPL || o == OpRETT:
+		s = s.Add(UnitBranch).Add(UnitALU)
+	case o.IsTicc():
+		s = s.Add(UnitBranch).Add(UnitPSR)
+	case o == OpSLL || o == OpSRL || o == OpSRA:
+		s = s.Add(UnitShifter)
+	case o >= OpUMUL && o <= OpSDIVCC || o == OpMULSCC:
+		s = s.Add(UnitMulDiv).Add(UnitPSR) // Y register
+	case o == OpSAVE || o == OpRESTORE:
+		s = s.Add(UnitALU).Add(UnitPSR) // CWP update
+	case o == OpRDY || o == OpWRY || o == OpRDPSR || o == OpWRPSR ||
+		o == OpRDWIM || o == OpWRWIM || o == OpRDTBR || o == OpWRTBR:
+		s = s.Add(UnitPSR)
+	case info.load || info.store:
+		s = s.Add(UnitALU).Add(UnitLSU).Add(UnitCCtrl).Add(UnitCTag).Add(UnitCData)
+	default:
+		s = s.Add(UnitALU)
+	}
+	if info.setsCC || info.readsCC {
+		s = s.Add(UnitPSR)
+	}
+	return s
+}

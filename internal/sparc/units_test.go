@@ -1,0 +1,71 @@
+package sparc
+
+import "testing"
+
+func TestUnitsOfBaseline(t *testing.T) {
+	// Every instruction exercises fetch, decode and the register file
+	// (paper §3: "all instructions have the same probability of triggering
+	// a failure at decode and fetch stages").
+	for op := Op(1); op < NumOps; op++ {
+		s := UnitsOf(op)
+		for _, u := range []Unit{UnitFetch, UnitDecode, UnitRegfile} {
+			if !s.Has(u) {
+				t.Errorf("%v: missing baseline unit %v", op, u)
+			}
+		}
+	}
+}
+
+func TestUnitsOfSpecialization(t *testing.T) {
+	if !UnitsOf(OpSLL).Has(UnitShifter) || UnitsOf(OpADD).Has(UnitShifter) {
+		t.Error("shifter attribution wrong")
+	}
+	if !UnitsOf(OpUMUL).Has(UnitMulDiv) || UnitsOf(OpXOR).Has(UnitMulDiv) {
+		t.Error("muldiv attribution wrong")
+	}
+	if !UnitsOf(OpLD).Has(UnitLSU) || !UnitsOf(OpST).Has(UnitCData) {
+		t.Error("memory attribution wrong")
+	}
+	if UnitsOf(OpADD).Has(UnitCData) {
+		t.Error("non-memory op touches cache data")
+	}
+	if !UnitsOf(OpBNE).Has(UnitBranch) {
+		t.Error("branch attribution wrong")
+	}
+	if !UnitsOf(OpADDCC).Has(UnitPSR) {
+		t.Error("cc-setting op must touch PSR unit")
+	}
+}
+
+func TestUnitClassification(t *testing.T) {
+	for u := Unit(0); u < NumUnits; u++ {
+		if u.IsIU() == u.IsCMEM() {
+			t.Errorf("%v: must be exactly one of IU or CMEM", u)
+		}
+	}
+	if !UnitALU.IsIU() || !UnitCData.IsCMEM() {
+		t.Error("sample classifications wrong")
+	}
+}
+
+func TestUnitSetRoundTrip(t *testing.T) {
+	s := UnitSet(0).Add(UnitALU).Add(UnitPSR).Add(UnitCTag)
+	got := s.Units()
+	if len(got) != 3 || got[0] != UnitALU || got[1] != UnitPSR || got[2] != UnitCTag {
+		t.Errorf("Units() = %v", got)
+	}
+	if s.Has(UnitShifter) {
+		t.Error("unexpected member")
+	}
+}
+
+func TestUnitStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for u := Unit(0); u < NumUnits; u++ {
+		n := u.String()
+		if n == "" || n == "unit?" || seen[n] {
+			t.Errorf("bad or duplicate unit name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) < eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if v := Variance(xs); v != 5 {
+		t.Errorf("variance = %v", v)
+	}
+	if s := StdDev(xs); !close(s, math.Sqrt(5), 1e-12) {
+		t.Errorf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("minmax = %v %v", min, max)
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x+3
+	a, b, r2, err := LinFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(a, 2, 1e-12) || !close(b, 3, 1e-12) || !close(r2, 1, 1e-12) {
+		t.Errorf("fit = %v %v %v", a, b, r2)
+	}
+}
+
+func TestLinFitErrors(t *testing.T) {
+	if _, _, _, err := LinFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero x-variance accepted")
+	}
+}
+
+func TestLogFitRecoversModel(t *testing.T) {
+	// Generate from the paper's Figure-7 model and recover it.
+	const a0, b0 = 0.0838, -0.0191
+	var xs, ys []float64
+	for _, d := range []float64{8, 11, 18, 20, 47, 48} {
+		xs = append(xs, d)
+		ys = append(ys, EvalLog(a0, b0, d))
+	}
+	a, b, r2, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(a, a0, 1e-9) || !close(b, b0, 1e-9) || !close(r2, 1, 1e-9) {
+		t.Errorf("recovered %v %v r2=%v", a, b, r2)
+	}
+}
+
+func TestLogFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		x := 1 + rng.Float64()*49
+		xs = append(xs, x)
+		ys = append(ys, EvalLog(0.1, 0.02, x)+rng.NormFloat64()*0.005)
+	}
+	a, _, r2, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(a, 0.1, 0.02) {
+		t.Errorf("slope = %v", a)
+	}
+	if r2 < 0.85 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestLogFitRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := LogFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("x=0 accepted")
+	}
+}
+
+func TestPearsonSigns(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	if r, _ := Pearson(xs, up); !close(r, 1, 1e-12) {
+		t.Errorf("r(up) = %v", r)
+	}
+	if r, _ := Pearson(xs, down); !close(r, -1, 1e-12) {
+		t.Errorf("r(down) = %v", r)
+	}
+}
+
+func TestLinFitResidualOrthogonalityQuick(t *testing.T) {
+	// Least-squares residuals are orthogonal to x: sum(res*x) ~ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		a, b, _, err := LinFit(xs, ys)
+		if err != nil {
+			return true
+		}
+		dot := 0.0
+		for i := range xs {
+			dot += (ys[i] - a*xs[i] - b) * xs[i]
+		}
+		return math.Abs(dot) < 1e-6*float64(n)*100*100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

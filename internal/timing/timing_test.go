@@ -1,0 +1,110 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// TestEstimateTracksRTL validates the timing simulator against the RTL
+// core's actual cycle counts on every workload: the trace-driven model
+// must stay within 15% (the paper's premise that ISS-level timing is
+// accurate enough for early-stage reasoning).
+func TestEstimateTracksRTL(t *testing.T) {
+	sim := New()
+	for _, name := range workloads.Names() {
+		cfg := workloads.Config{}
+		if name != "excerptA" && name != "excerptB" {
+			cfg.Iterations = 2
+		}
+		w, err := workloads.Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := sim.Simulate(w.Program, 10_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := mem.NewMemory()
+		m.LoadImage(w.Program.Origin, w.Program.Image)
+		core := leon3.New(mem.NewBus(m), w.Program.Entry)
+		if st := core.Run(100_000_000); st != iss.StatusExited {
+			t.Fatalf("%s: RTL %v", name, st)
+		}
+		ratio := float64(est.Cycles) / float64(core.Cycles())
+		t.Logf("%-10s est=%7d rtl=%7d ratio=%.3f (%v)", name, est.Cycles, core.Cycles(), ratio, est)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: timing estimate off by %.1f%%", name, 100*(ratio-1))
+		}
+		if est.Insts != core.Icount {
+			t.Errorf("%s: inst count %d vs RTL %d", name, est.Insts, core.Icount)
+		}
+	}
+}
+
+func TestEstimateComponentsPlausible(t *testing.T) {
+	sim := New()
+	w, err := workloads.Build("membench", workloads.Config{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sim.Simulate(w.Program, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.DCacheMisses == 0 {
+		t.Error("membench with cold caches must miss")
+	}
+	if est.BranchFlushes == 0 {
+		t.Error("loops must cause redirect flushes")
+	}
+	if est.CPI() < 1 {
+		t.Errorf("CPI %.2f below 1", est.CPI())
+	}
+}
+
+func TestMulDivLatencyAccounting(t *testing.T) {
+	sim := New()
+	w, err := workloads.Build("a2time", workloads.Config{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sim.Simulate(w.Program, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2time does one umul and one udiv per element: 128 elements at 2
+	// iterations -> at least 128*(5+33) muldiv cycles.
+	if est.MulDivCycles < 128*38 {
+		t.Errorf("muldiv cycles = %d", est.MulDivCycles)
+	}
+}
+
+func TestCacheModelBasics(t *testing.T) {
+	c := newCache(4, 4) // 4 sets, 16-byte lines
+	if c.access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.access(0x100c) {
+		t.Error("same line missed")
+	}
+	if c.access(0x1040) {
+		t.Error("conflicting line hit") // 0x1040 maps 4 lines later -> set 0
+	}
+	if c.access(0x1000) {
+		t.Error("evicted line still hit")
+	}
+}
+
+func TestParametersDefaultMatchesRTLConstants(t *testing.T) {
+	p := DefaultParameters()
+	if p.ICacheSets != 64 || p.DCacheSets != 64 || p.LineWords != 4 {
+		t.Error("cache geometry drifted from internal/leon3")
+	}
+	if p.MulLatency != 5 || p.DivLatency != 33 {
+		t.Error("muldiv latencies drifted from internal/leon3")
+	}
+}

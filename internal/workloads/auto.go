@@ -1,0 +1,491 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The automotive workloads are workalikes of the EEMBC Autobench kernels
+// the paper uses. Each implements the documented algorithm of its namesake
+// on realistic synthetic data tables: the correlation study consumes their
+// instruction-type footprint and off-core write stream, not EEMBC's exact
+// C sources (see DESIGN.md §3 for the substitution argument).
+//
+// Every kernel follows the same shape: "main" is called by the harness
+// with a data-derived seed in %o0, loops @ITERS@ times over its input
+// tables, stores per-element results (off-core writes through the
+// write-through cache) and returns a signature in %i0.
+
+// expand substitutes the iteration count into a kernel template.
+func expand(src string, iters int) string {
+	return strings.ReplaceAll(src, "@ITERS@", fmt.Sprint(iters))
+}
+
+// a2time: angle-to-time conversion. Converts crankshaft angle samples to
+// time delays at the sampled engine speed: t = angle*60000/rpm, clamped.
+func a2timeSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5          ! signature seed
+	set 60000, %o1
+	set 250000, %o3       ! clamp
+a2_iter:
+	set a2_angles, %l0
+	set a2_rpm, %l1
+	set a2_res, %l2
+	mov 64, %l3
+a2_loop:
+	ld [%l0], %l4
+	ld [%l1], %l5
+	umul %l4, %o1, %l6
+	rd %y, %o2
+	udiv %l6, %l5, %l7
+	cmp %l7, %o3
+	bleu a2_ok
+	nop
+	mov %o3, %l7
+a2_ok:
+	st %l7, [%l2]
+	add %i5, %l7, %i5
+	add %l0, 4, %l0
+	add %l1, 4, %l1
+	add %l2, 4, %l2
+	subcc %l3, 1, %l3
+	bne a2_loop
+	nop
+	subcc %i1, 1, %i1
+	bne a2_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "a2_angles:\n" + dataWords(101+cfg.Dataset, 64, styleRange(0, 3600)) +
+		"a2_rpm:\n" + dataWords(202+cfg.Dataset, 64, styleRange(600, 8000)) +
+		"a2_res:\n\t.space 256\n"
+	return fullRuntime(body, data+stack(192), 128)
+}
+
+// puwmod: pulse-width modulation. Computes duty cycles for target levels,
+// saturates them and composes the output port image with bit operations.
+func puwmodSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+	set 4096, %o1          ! PWM period
+	set 4000, %o2          ! duty ceiling
+pw_iter:
+	set pw_targets, %l0
+	set pw_port, %l1
+	mov 64, %l3
+	clr %o4                ! port image
+pw_loop:
+	ld [%l0], %l4          ! target level 0..255
+	smul %l4, %o1, %l5
+	sra %l5, 8, %l5        ! duty = target*period/256
+	cmp %l5, %o2
+	ble pw_clamped
+	nop
+	mov %o2, %l5
+pw_clamped:
+	and %l4, 7, %l6        ! channel = target & 7
+	mov 1, %l7
+	sll %l7, %l6, %l7      ! channel mask
+	andn %o4, %l7, %o4     ! clear channel bit
+	srl %l5, 11, %o5       ! high-duty flag
+	andcc %o5, 1, %g0
+	be pw_low
+	nop
+	or %o4, %l7, %o4       ! set channel bit
+pw_low:
+	xor %i5, %l5, %i5
+	st %l5, [%l1]
+	add %l0, 4, %l0
+	add %l1, 4, %l1
+	subcc %l3, 1, %l3
+	bne pw_loop
+	nop
+	st %o4, [%l1]          ! final port image
+	subcc %i1, 1, %i1
+	bne pw_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "pw_targets:\n" + dataWords(303+cfg.Dataset, 64, styleRange(0, 256)) +
+		"pw_port:\n\t.space 264\n"
+	return fullRuntime(body, data+stack(192), 64)
+}
+
+// canrdr: CAN remote-data-request processing. Parses a frame queue,
+// matches identifiers against a filter table, copies matching payloads
+// byte-wise and maintains a wide (carry-chained) byte checksum.
+func canrdrSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+cr_iter:
+	set cr_frames, %l0     ! 32 frames x (header word + 2 payload words)
+	set cr_out, %l1
+	mov 32, %l3
+	clr %o4                ! checksum low
+	clr %o5                ! checksum high
+cr_frame:
+	ld [%l0], %l4          ! header: id in [31:21], dlc in [19:16]
+	srl %l4, 21, %l5       ! id
+	set cr_filters, %l6
+	mov 4, %l7             ! filter count
+cr_match:
+	ld [%l6], %o1
+	xor %o1, %l5, %o2
+	andcc %o2, 0x7ff, %g0
+	be cr_hit
+	nop
+	add %l6, 4, %l6
+	subcc %l7, 1, %l7
+	bne cr_match
+	nop
+	ba cr_next             ! no filter matched
+	nop
+cr_hit:
+	srl %l4, 16, %o1
+	and %o1, 0xf, %o1      ! dlc (0..8)
+	cmp %o1, 8
+	bleu cr_dlc_ok
+	nop
+	mov 8, %o1
+cr_dlc_ok:
+	add %l0, 4, %o2        ! payload source
+	orcc %o1, %g0, %g0
+	be cr_copied
+	nop
+cr_copy:
+	ldub [%o2], %o3
+	stb %o3, [%l1]
+	addcc %o4, %o3, %o4    ! wide checksum
+	addx %o5, 0, %o5
+	add %o2, 1, %o2
+	add %l1, 1, %l1
+	subcc %o1, 1, %o1
+	bne cr_copy
+	nop
+cr_copied:
+cr_next:
+	add %l0, 12, %l0
+	subcc %l3, 1, %l3
+	bne cr_frame
+	nop
+	xor %o4, %o5, %o1
+	xor %i5, %o1, %i5
+	subcc %i1, 1, %i1
+	bne cr_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "cr_frames:\n" + canFrames(404+cfg.Dataset, 32) +
+		"cr_filters:\n\t.word 0x120, 0x254, 0x3c1, 0x510\n" +
+		"cr_out:\n\t.space 512\n"
+	return fullRuntime(body, data+stack(192), 96)
+}
+
+// ttsprk: tooth-to-spark. Looks up and interpolates spark advance from a
+// 2D calibration map indexed by engine speed and load, then schedules the
+// ignition angle per cylinder.
+func ttsprkSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+ts_iter:
+	set ts_rpm, %l0
+	set ts_load, %l1
+	set ts_adv, %l2        ! output advance angles
+	mov 64, %l3
+	clr %o5                ! cylinder counter
+ts_loop:
+	ld [%l0], %l4          ! rpm sample
+	srl %l4, 10, %o1       ! rpm bucket 0..7
+	and %o1, 7, %o1
+	ld [%l1], %l5          ! load sample
+	srl %l5, 5, %o2        ! load bucket 0..7
+	and %o2, 7, %o2
+	sll %o1, 3, %o3        ! row*8
+	add %o3, %o2, %o3
+	sll %o3, 1, %o3        ! halfword index
+	set ts_map, %o4
+	add %o4, %o3, %o4
+	ldsh [%o4], %l6        ! base advance (signed tenths of degree)
+	and %l4, 1023, %o1     ! fraction within bucket
+	smul %l6, %o1, %l7
+	sra %l7, 10, %l7       ! interpolated advance
+	add %l6, %l7, %l6
+	and %o5, 3, %o1        ! cylinder = counter & 3
+	add %o5, 1, %o5
+	cmp %o1, 2
+	bge ts_late
+	nop
+	add %l6, 5, %l6        ! early bank correction
+	ba ts_store
+	nop
+ts_late:
+	sub %l6, 5, %l6
+ts_store:
+	sth %l6, [%l2]
+	add %i5, %l6, %i5
+	add %l0, 4, %l0
+	add %l1, 4, %l1
+	add %l2, 2, %l2
+	subcc %l3, 1, %l3
+	bne ts_loop
+	nop
+	subcc %i1, 1, %i1
+	bne ts_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "ts_rpm:\n" + dataWords(505+cfg.Dataset, 64, styleRange(600, 8192)) +
+		"ts_load:\n" + dataWords(606+cfg.Dataset, 64, styleRange(0, 256)) +
+		"ts_map:\n" + dataHalves(707+cfg.Dataset, 64, -200, 400) +
+		"\t.align 4\nts_adv:\n\t.space 128\n"
+	return fullRuntime(body, data+stack(192), 160)
+}
+
+// rspeed: road-speed calculation. Differentiates wheel-pulse timestamps,
+// applies a moving-average filter and converts pulse periods to speed,
+// tracking minimum and maximum.
+func rspeedSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+	set 3600000, %o1       ! distance scale
+rs_iter:
+	set rs_stamps, %l0
+	set rs_speed, %l2
+	mov 63, %l3            ! 64 stamps -> 63 deltas
+	clr %o2                ! moving average accumulator
+	clr %o4                ! max speed
+	set 0x7fffffff, %o5    ! min speed
+rs_loop:
+	ld [%l0], %l4
+	ld [%l0+4], %l5
+	sub %l5, %l4, %l6      ! pulse period
+	add %o2, %l6, %o2
+	srl %o2, 1, %o2        ! leaky average
+	udiv %o1, %o2, %l7     ! speed = scale/avg
+	st %l7, [%l2]
+	cmp %l7, %o4
+	bleu rs_notmax
+	nop
+	mov %l7, %o4
+rs_notmax:
+	cmp %l7, %o5
+	bcc rs_notmin
+	nop
+	mov %l7, %o5
+rs_notmin:
+	add %i5, %l7, %i5
+	add %l0, 4, %l0
+	add %l2, 4, %l2
+	subcc %l3, 1, %l3
+	bne rs_loop
+	nop
+	sub %o4, %o5, %o3      ! spread
+	xor %i5, %o3, %i5
+	subcc %i1, 1, %i1
+	bne rs_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "rs_stamps:\n" + dataMonotonic(808+cfg.Dataset, 64, 200, 5000) +
+		"rs_speed:\n\t.space 256\n"
+	return fullRuntime(body, data+stack(192), 128)
+}
+
+// tblook: table lookup and interpolation. For each probe x, finds the
+// bracketing segment in a calibration curve by linear search and returns
+// y1 + (y2-y1)*(x-x1)/(x2-x1).
+func tblookSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+tb_iter:
+	set tb_probes, %l0
+	set tb_res, %l2
+	mov 64, %l3
+tb_loop:
+	ld [%l0], %l4          ! probe x
+	set tb_xs, %l5
+	mov 0, %o1             ! segment index
+tb_find:
+	ld [%l5+4], %o2        ! next x breakpoint
+	cmp %l4, %o2
+	bleu tb_found
+	nop
+	add %l5, 4, %l5
+	add %o1, 1, %o1
+	cmp %o1, 14            ! 16 breakpoints -> 15 segments
+	bl tb_find
+	nop
+tb_found:
+	ld [%l5], %o2          ! x1
+	ld [%l5+4], %o3        ! x2
+	sll %o1, 2, %o4
+	set tb_ys, %o5
+	add %o5, %o4, %o5
+	ld [%o5], %l6          ! y1
+	ld [%o5+4], %l7        ! y2
+	sub %l7, %l6, %l7      ! dy
+	sub %l4, %o2, %o4      ! x - x1
+	smul %l7, %o4, %l7
+	sub %o3, %o2, %o3      ! dx
+	sdiv %l7, %o3, %l7
+	add %l6, %l7, %l6      ! interpolated y
+	st %l6, [%l2]
+	add %i5, %l6, %i5
+	add %l0, 4, %l0
+	add %l2, 4, %l2
+	subcc %l3, 1, %l3
+	bne tb_loop
+	nop
+	subcc %i1, 1, %i1
+	bne tb_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "tb_probes:\n" + dataWords(909+cfg.Dataset, 64, styleRange(0, 15000)) +
+		"tb_xs:\n" + dataBreakpoints(16, 0, 1000) +
+		"tb_ys:\n" + dataWords(111+cfg.Dataset, 16, styleRange(0, 4000)) +
+		"tb_res:\n\t.space 256\n"
+	return fullRuntime(body, data+stack(192), 96)
+}
+
+// basefp: fixed-point arithmetic kernel (the IU has no FPU; EEMBC basefp
+// on FPU-less automotive parts runs a software arithmetic layer, modeled
+// here as saturating Q16.16 multiply-accumulate chains using ldd/std).
+func basefpSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+bf_iter:
+	set bf_in, %l0
+	set bf_res, %l2
+	mov 32, %l3            ! 32 pairs
+bf_loop:
+	ldd [%l0], %l4         ! l4 = a, l5 = b (Q16.16)
+	smul %l4, %l5, %l6     ! low product
+	rd %y, %l7             ! high product
+	srl %l6, 16, %l6
+	sll %l7, 16, %o1
+	or %o1, %l6, %l6       ! q = (a*b) >> 16
+	addcc %l6, %l4, %o2    ! q + a with saturation
+	bvc bf_nosat
+	nop
+	set 0x7fffffff, %o2    ! saturate on signed overflow
+	srl %l5, 31, %o3
+	sub %o2, %o3, %o2      ! wrong-side fix keeps data dependence
+bf_nosat:
+	mov %l6, %o3
+	std %o2, [%l2]         ! store pair (sum, product)
+	xor %i5, %o2, %i5
+	add %l0, 8, %l0
+	add %l2, 8, %l2
+	subcc %l3, 1, %l3
+	bne bf_loop
+	nop
+	subcc %i1, 1, %i1
+	bne bf_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "\t.align 8\nbf_in:\n" + dataWords(121+cfg.Dataset, 64, styleFull()) +
+		"\t.align 8\nbf_res:\n\t.space 256\n"
+	return fullRuntime(body, data+stack(192), 128)
+}
+
+// bitmnp ("bitmap"): bit manipulation. Sets, clears and toggles bit runs
+// in a bitmap and counts population per word.
+func bitmnpSource(cfg Config) string {
+	body := expand(`
+	save %sp, -96, %sp
+	set @ITERS@, %i1
+	mov %o0, %i5
+bm_iter:
+	set bm_cmds, %l0       ! command words: op in [1:0], pos in [9:4], len in [13:10]
+	set bm_map, %l1
+	set bm_cnt, %l2
+	mov 64, %l3
+bm_loop:
+	ld [%l0], %l4
+	srl %l4, 4, %l5
+	and %l5, 31, %l5       ! bit position
+	srl %l4, 10, %o1
+	and %o1, 7, %o1
+	add %o1, 1, %o1        ! run length 1..8
+	mov 1, %o2
+	sll %o2, %o1, %o2
+	sub %o2, 1, %o2        ! run mask
+	sll %o2, %l5, %o2      ! positioned mask
+	and %l4, 3, %o3        ! operation
+	ld [%l1], %l6          ! target word
+	cmp %o3, 1
+	bl bm_set
+	nop
+	be bm_clear
+	nop
+	xor %l6, %o2, %l6      ! toggle
+	ba bm_count
+	nop
+bm_set:
+	or %l6, %o2, %l6
+	ba bm_count
+	nop
+bm_clear:
+	andn %l6, %o2, %l6
+bm_count:
+	st %l6, [%l1]
+	clr %o4                ! popcount
+	mov %l6, %o5
+bm_pop:
+	andcc %o5, 1, %o3
+	add %o4, %o3, %o4
+	srl %o5, 1, %o5
+	orcc %o5, %g0, %g0
+	bne bm_pop
+	nop
+	stb %o4, [%l2]
+	add %i5, %o4, %i5
+	add %l0, 4, %l0
+	add %l1, 4, %l1
+	add %l2, 1, %l2
+	subcc %l3, 1, %l3
+	bne bm_loop
+	nop
+	subcc %i1, 1, %i1
+	bne bm_iter
+	nop
+	mov %i5, %i0
+	ret
+	restore
+`, cfg.Iterations)
+	data := "bm_cmds:\n" + dataWords(131+cfg.Dataset, 64, styleFull()) +
+		"bm_map:\n" + dataWords(141+cfg.Dataset, 64, styleFull()) +
+		"bm_cnt:\n\t.space 64\n"
+	return fullRuntime(body, data+stack(192), 192)
+}

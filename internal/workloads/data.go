@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Deterministic synthetic data tables. All generators are seeded so that a
+// workload's binary image is a pure function of (name, Config) — a
+// prerequisite for reproducible fault-injection campaigns.
+
+// style produces one data word.
+type style func(r *rand.Rand) uint32
+
+// styleRange yields uniform values in [lo, hi).
+func styleRange(lo, hi int) style {
+	return func(r *rand.Rand) uint32 { return uint32(lo + r.Intn(hi-lo)) }
+}
+
+// styleFull yields full-width 32-bit patterns.
+func styleFull() style {
+	return func(r *rand.Rand) uint32 { return r.Uint32() }
+}
+
+// dataWords emits n .word lines drawn from the style.
+func dataWords(seed, n int, s style) string {
+	r := rand.New(rand.NewSource(int64(seed)))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t.word 0x%08x\n", s(r))
+	}
+	return b.String()
+}
+
+// dataHalves emits n .half lines in [lo, hi) (signed values allowed).
+func dataHalves(seed, n, lo, hi int) string {
+	r := rand.New(rand.NewSource(int64(seed)))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		v := lo + r.Intn(hi-lo)
+		fmt.Fprintf(&b, "\t.half 0x%04x\n", uint16(int16(v)))
+	}
+	return b.String()
+}
+
+// dataMonotonic emits n strictly increasing .word timestamps with steps
+// in [minStep, maxStep).
+func dataMonotonic(seed, n, minStep, maxStep int) string {
+	r := rand.New(rand.NewSource(int64(seed)))
+	var b strings.Builder
+	v := uint32(1000)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t.word 0x%08x\n", v)
+		v += uint32(minStep + r.Intn(maxStep-minStep))
+	}
+	return b.String()
+}
+
+// canFrames emits n CAN frames of 3 words each: a header with an 11-bit
+// identifier in [31:21] and a DLC in [19:16], followed by 8 payload bytes.
+// About half the identifiers match the benchmark's filter table.
+func canFrames(seed, n int) string {
+	r := rand.New(rand.NewSource(int64(seed)))
+	filters := []uint32{0x120, 0x254, 0x3c1, 0x510}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		var id uint32
+		if r.Intn(2) == 0 {
+			id = filters[r.Intn(len(filters))]
+		} else {
+			id = r.Uint32() & 0x7ff
+		}
+		dlc := uint32(r.Intn(9))
+		hdr := id<<21 | dlc<<16 | r.Uint32()&0xffff
+		fmt.Fprintf(&b, "\t.word 0x%08x, 0x%08x, 0x%08x\n", hdr, r.Uint32(), r.Uint32())
+	}
+	return b.String()
+}
+
+// dataBreakpoints emits n strictly increasing .word breakpoints starting
+// at x0 with the given spacing.
+func dataBreakpoints(n, x0, spacing int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t.word %d\n", x0+i*spacing)
+	}
+	return b.String()
+}

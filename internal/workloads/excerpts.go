@@ -1,0 +1,81 @@
+package workloads
+
+// Figure-3 excerpts: short initialization-phase kernels used to study the
+// effect of input-data variability at fixed instruction set Is. Within
+// each subset the three "applications" share identical code and differ
+// only in their input data, exactly as in the paper (§4.2, "All three
+// applications within a subset have identical code"). Subset A uses 8
+// instruction types, subset B uses 11.
+
+// excerptASource reads the benchmark's input table into a working buffer
+// while accumulating a running sum — the archetypal init phase.
+// Instruction types (8): sethi, or, ld, st, add, subcc, bne, ba.
+func excerptASource(cfg Config) string {
+	body := `
+	set xa_in, %o0        ! sethi + or
+	set xa_buf, %o1
+	set 64, %o2
+	set 0, %o3            ! running signature
+xa_copy:
+	ld [%o0], %o4
+	st %o4, [%o1]
+	add %o3, %o4, %o3
+	add %o0, 4, %o0
+	add %o1, 4, %o1
+	subcc %o2, 1, %o2
+	bne xa_copy
+	nop                   ! sethi
+	st %o3, [%o1]
+	ba xa_done
+	nop
+xa_done:
+`
+	data := "xa_in:\n" + excerptData(cfg.Dataset, 64) + "xa_buf:\n\t.space 264\n"
+	return bareExcerpt(body, data)
+}
+
+// excerptBSource additionally scales and hashes the copied elements.
+// Instruction types (11): subset A plus sll, xor, bg.
+func excerptBSource(cfg Config) string {
+	body := `
+	set xb_in, %o0
+	set xb_buf, %o1
+	set 64, %o2
+	set 0, %o3
+xb_copy:
+	ld [%o0], %o4
+	sll %o4, 2, %o5       ! scale (engineering units)
+	xor %o3, %o5, %o3
+	subcc %o4, 2048, %g0  ! threshold classify
+	bg xb_high
+	nop
+	add %o5, 1, %o5
+xb_high:
+	st %o5, [%o1]
+	add %o0, 4, %o0
+	add %o1, 4, %o1
+	subcc %o2, 1, %o2
+	bne xb_copy
+	nop
+	st %o3, [%o1]
+	ba xb_done
+	nop
+xb_done:
+`
+	data := "xb_in:\n" + excerptData(cfg.Dataset, 64) + "xb_buf:\n\t.space 264\n"
+	return bareExcerpt(body, data)
+}
+
+// excerptData selects the input-data flavor for an excerpt. The three
+// datasets of each Figure-3 subset differ in value distribution, the same
+// way the EEMBC members differ in the tables their init phase loads.
+func excerptData(dataset, n int) string {
+	switch dataset % 3 {
+	case 0: // a2time / rspeed flavor: mid-range engineering values
+		return dataWords(171, n, styleRange(100, 4000))
+	case 1: // ttsprk / tblook flavor: small sparse values
+		return dataWords(181, n, styleRange(0, 64))
+	default: // bitmap / basefp flavor: dense full-width patterns
+		return dataWords(191, n, styleFull())
+	}
+}

