@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test bench bench-smoke vet fmt-check lint
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark harness: regenerates every table and figure of the paper
+# plus the checkpointed-vs-from-reset campaign engine comparison.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# One iteration of every benchmark, no unit tests: cheap CI smoke that
+# exercises the checkpointed campaign speedup path on every PR.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check

@@ -189,6 +189,48 @@ func BenchmarkRTLExecution(b *testing.B) {
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// benchmarkCampaignEngine times an identical campaign with the injection
+// instant at half the golden run, either forked from the golden-run
+// checkpoint or re-simulated from reset. The pair is the checkpointed
+// engine's headline: the warm-up prefix is simulated once instead of once
+// per experiment, so the checkpointed variant must be severalfold faster
+// while producing the same Pf.
+func benchmarkCampaignEngine(b *testing.B, noCheckpoint bool) {
+	w, err := workloads.Build("rspeed", workloads.Config{Iterations: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := fault.NewRunner(w.Program, fault.Options{
+		InjectAtFraction: 0.5,
+		NoCheckpoint:     noCheckpoint,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), 48, 1)
+	exps := fault.Expand(nodes, rtl.StuckAt1)
+	r.PrepareCheckpoint() // capture outside the timed region
+	var pf float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf = fault.Pf(r.Campaign(exps, 0))
+	}
+	b.ReportMetric(100*pf, "Pf-%")
+	b.ReportMetric(float64(len(exps))*float64(b.N)/b.Elapsed().Seconds(), "exp/s")
+}
+
+// BenchmarkCampaignCheckpointed forks every experiment from the golden-run
+// snapshot at the injection instant (the default engine).
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	benchmarkCampaignEngine(b, false)
+}
+
+// BenchmarkCampaignFromReset re-simulates every experiment's warm-up
+// prefix from cycle 0 (the paper's original cost model).
+func BenchmarkCampaignFromReset(b *testing.B) {
+	benchmarkCampaignEngine(b, true)
+}
+
 // BenchmarkSingleInjection measures the cost of one fault experiment.
 func BenchmarkSingleInjection(b *testing.B) {
 	w, err := workloads.Build("excerptB", workloads.Config{})

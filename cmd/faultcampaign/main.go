@@ -34,14 +34,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		inject  = flag.Uint64("inject-at", 0, "injection instant (cycle)")
+		injfrac = flag.Float64("inject-frac", 0, "injection instant as a fraction of the golden run (overrides -inject-at)")
+		noCkpt  = flag.Bool("no-checkpoint", false, "re-simulate each experiment from reset instead of forking the golden-run checkpoint")
 	)
 	flag.Parse()
 
 	spec := core.CampaignSpec{
-		Nodes:         *nodes,
-		Seed:          *seed,
-		Workers:       *workers,
-		InjectAtCycle: *inject,
+		Nodes:            *nodes,
+		Seed:             *seed,
+		Workers:          *workers,
+		InjectAtCycle:    *inject,
+		InjectAtFraction: *injfrac,
+		NoCheckpoint:     *noCkpt,
 	}
 	switch *target {
 	case "iu":
@@ -75,6 +79,11 @@ func main() {
 
 	fmt.Printf("workload:   %s, target %v, %d injections in %.1fs\n",
 		w.Name, spec.Target, res.Injections, time.Since(t0).Seconds())
+	engine := "from-reset re-simulation"
+	if res.Checkpointed {
+		engine = "golden-run forking (warm-up prefix simulated once)"
+	}
+	fmt.Printf("engine:     %s, golden run %d cycles\n", engine, res.GoldenCycles)
 	fmt.Printf("Pf:         %s of faults propagated to failures\n", report.Percent(res.Pf))
 	if res.MaxLatencyCycles >= 0 {
 		fmt.Printf("latency:    max detection latency %d cycles\n", res.MaxLatencyCycles)

@@ -15,6 +15,20 @@
 //   - campaign orchestration reproducing every table and figure of the
 //     paper's evaluation.
 //
+// # Checkpointed campaign engine
+//
+// Fault-injection campaigns fork every experiment from a golden-run
+// checkpoint: the fault-free warm-up prefix up to the injection instant
+// is simulated exactly once, its complete RTL state (pipeline registers,
+// register-file windows, cache arrays, architectural counters) is frozen
+// together with a copy-on-write image of program memory, and each of the
+// campaign's thousands of experiments resumes from that snapshot with its
+// fault armed. Results are bit-identical to from-reset re-simulation —
+// same outcome sequence, latencies and Pf — at a fraction of the cost for
+// realistic injection instants. Set CampaignSpec.NoCheckpoint (or
+// fault.Options.NoCheckpoint) to fall back to from-reset re-simulation
+// when debugging the engine.
+//
 // Quick start:
 //
 //	w, _ := core.BuildWorkload("rspeed", core.WorkloadConfig{Iterations: 2})
@@ -131,6 +145,17 @@ type CampaignSpec struct {
 	Workers int
 	// InjectAtCycle is the fixed injection instant.
 	InjectAtCycle uint64
+	// InjectAtFraction, when nonzero, positions the injection instant at
+	// this fraction of the golden run length (overrides InjectAtCycle).
+	InjectAtFraction float64
+	// NoCheckpoint disables the checkpointed campaign engine. By default
+	// (false) the golden warm-up prefix up to the injection instant is
+	// simulated once, its full RTL state is frozen in a snapshot with a
+	// copy-on-write memory image, and every experiment forks from it;
+	// disabling re-simulates each experiment from reset, which produces
+	// identical results at a much higher cost and exists for debugging
+	// the engine itself.
+	NoCheckpoint bool
 }
 
 // CampaignResult aggregates an injection campaign.
@@ -146,11 +171,21 @@ type CampaignResult struct {
 	Results []InjectionResult
 	// Injections is the number of experiments performed.
 	Injections int
+	// GoldenCycles is the fault-free run's length in cycles.
+	GoldenCycles uint64
+	// Checkpointed reports whether the experiments forked from the
+	// golden-run snapshot at the injection instant instead of
+	// re-simulating the warm-up prefix from reset.
+	Checkpointed bool
 }
 
 // RunCampaign executes an RTL fault-injection campaign on a workload.
 func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
-	r, err := fault.NewRunner(w.Program, fault.Options{InjectAtCycle: spec.InjectAtCycle})
+	r, err := fault.NewRunner(w.Program, fault.Options{
+		InjectAtCycle:    spec.InjectAtCycle,
+		InjectAtFraction: spec.InjectAtFraction,
+		NoCheckpoint:     spec.NoCheckpoint,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -169,6 +204,8 @@ func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
 		MaxLatencyCycles: fault.MaxLatency(results),
 		Results:          results,
 		Injections:       len(results),
+		GoldenCycles:     r.GoldenCycles,
+		Checkpointed:     r.Checkpointed(),
 	}, nil
 }
 

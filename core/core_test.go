@@ -72,6 +72,49 @@ func TestRunCampaignFacade(t *testing.T) {
 	if len(res.PfByUnit) == 0 {
 		t.Error("missing per-unit grouping")
 	}
+	if res.GoldenCycles == 0 {
+		t.Error("missing golden run length")
+	}
+	if res.Checkpointed {
+		t.Error("checkpointed with injection at reset")
+	}
+}
+
+func TestRunCampaignCheckpointToggle(t *testing.T) {
+	w, err := BuildWorkload("excerptB", WorkloadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CampaignSpec{
+		Target:           TargetIU,
+		Models:           []FaultModel{StuckAt1},
+		Nodes:            16,
+		Seed:             5,
+		InjectAtFraction: 0.5,
+	}
+	forked, err := RunCampaign(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forked.Checkpointed {
+		t.Error("mid-run injection did not use the checkpoint engine")
+	}
+	spec.NoCheckpoint = true
+	reset, err := RunCampaign(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Checkpointed {
+		t.Error("NoCheckpoint spec still checkpointed")
+	}
+	if forked.Pf != reset.Pf {
+		t.Errorf("Pf differs: checkpointed %v, from-reset %v", forked.Pf, reset.Pf)
+	}
+	for i := range forked.Results {
+		if forked.Results[i] != reset.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, forked.Results[i], reset.Results[i])
+		}
+	}
 }
 
 func TestAreaWeightsNormalized(t *testing.T) {

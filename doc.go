@@ -7,4 +7,14 @@
 // evaluation. See README.md for the architecture overview, DESIGN.md for
 // the system inventory and EXPERIMENTS.md for paper-versus-measured
 // results.
+//
+// Fault-injection campaigns run on the checkpointed engine: the golden
+// (fault-free) warm-up prefix up to the injection instant is simulated
+// once, frozen as a full RTL snapshot plus a copy-on-write memory image,
+// and every experiment forks from it instead of re-simulating from reset.
+// The BenchmarkCampaignCheckpointed / BenchmarkCampaignFromReset pair in
+// bench_test.go measures the resulting campaign speedup; results are
+// bit-identical either way (see internal/fault's TestCheckpointFidelity).
+// Disable the engine with fault.Options.NoCheckpoint or
+// core.CampaignSpec.NoCheckpoint when debugging.
 package repro

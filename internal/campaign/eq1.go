@@ -61,7 +61,7 @@ func Eq1(o Options) (*Eq1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := runnerFor(name, cfg)
+		r, err := runnerFor(o, name, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,7 @@ type TransientResult struct {
 // benchmark and contrasts the resulting Pf with the permanent stuck-at-1
 // Pf of the same nodes.
 func ExtTransient(o Options, benchmark string) (*TransientResult, error) {
-	r, err := runnerFor(benchmark, workloads.Config{Iterations: o.iters()})
+	r, err := runnerFor(o, benchmark, workloads.Config{Iterations: o.iters()})
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,10 @@
 package fault
 
 import (
-	"repro/internal/iss"
-	"repro/internal/leon3"
-	"repro/internal/mem"
-	"repro/internal/rtl"
 	"sync"
+
+	"repro/internal/iss"
+	"repro/internal/rtl"
 )
 
 // This file extends the campaign runner beyond the paper's permanent-fault
@@ -24,30 +23,13 @@ type TransientExperiment struct {
 // the run continues under the same off-core comparison as permanent
 // faults.
 func (r *Runner) RunTransient(e TransientExperiment) Result {
-	m := mem.NewMemory()
-	m.LoadImage(r.prog.Origin, r.prog.Image)
-	bus := mem.NewBus(m)
-	core := leon3.New(bus, r.prog.Entry)
-
+	core, bus := freshCore(r.prog)
 	res := Result{
 		Fault:   rtl.Fault{Node: e.Node.Node},
 		Unit:    e.Node.Unit,
 		Latency: -1,
 	}
-
-	mismatchAt := int64(-1)
-	idx := 0
-	bus.OnWrite = func(a mem.Access) {
-		if mismatchAt >= 0 {
-			return
-		}
-		g := r.golden.Writes
-		if idx >= len(g) || a.Write != g[idx].Write || a.Addr != g[idx].Addr ||
-			a.Size != g[idx].Size || a.Data != g[idx].Data {
-			mismatchAt = int64(core.Cycles())
-		}
-		idx++
-	}
+	c := r.watch(bus, core, 0)
 
 	for core.Cycles() < e.AtCycle && core.Status() == iss.StatusRunning {
 		core.StepCycle()
@@ -56,26 +38,8 @@ func (r *Runner) RunTransient(e TransientExperiment) Result {
 		res.Outcome = OutcomeNoEffect
 		return res
 	}
-	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget && mismatchAt < 0 {
-		core.StepCycle()
-	}
-	res.Cycles = core.Cycles()
-
-	switch {
-	case mismatchAt >= 0:
-		res.Outcome = OutcomeMismatch
-		res.Latency = mismatchAt - int64(e.AtCycle)
-	case core.Status() == iss.StatusErrorMode:
-		res.Outcome = OutcomeErrorMode
-		res.Latency = int64(res.Cycles) - int64(e.AtCycle)
-	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
-		res.Outcome = OutcomeHang
-	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
-		res.Outcome = OutcomeTruncated
-		res.Latency = int64(res.Cycles) - int64(e.AtCycle)
-	default:
-		res.Outcome = OutcomeNoEffect
-	}
+	r.runFaulted(core, c)
+	r.classify(&res, core, bus, c, e.AtCycle)
 	return res
 }
 
@@ -120,53 +84,19 @@ type BridgeExperiment struct {
 
 // RunBridge executes a bridging-fault experiment.
 func (r *Runner) RunBridge(e BridgeExperiment) Result {
-	m := mem.NewMemory()
-	m.LoadImage(r.prog.Origin, r.prog.Image)
-	bus := mem.NewBus(m)
-	core := leon3.New(bus, r.prog.Entry)
-
+	core, bus := freshCore(r.prog)
 	res := Result{
 		Fault:   rtl.Fault{Node: e.A.Node},
 		Unit:    e.A.Unit,
 		Latency: -1,
 	}
-
-	mismatchAt := int64(-1)
-	idx := 0
-	bus.OnWrite = func(a mem.Access) {
-		if mismatchAt >= 0 {
-			return
-		}
-		g := r.golden.Writes
-		if idx >= len(g) || a.Addr != g[idx].Addr || a.Size != g[idx].Size || a.Data != g[idx].Data {
-			mismatchAt = int64(core.Cycles())
-		}
-		idx++
-	}
+	c := r.watch(bus, core, 0)
 
 	if err := core.K.InjectBridge(e.A.Node, e.B.Node, e.Kind); err != nil {
 		res.Outcome = OutcomeNoEffect
 		return res
 	}
-	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget && mismatchAt < 0 {
-		core.StepCycle()
-	}
-	res.Cycles = core.Cycles()
-
-	switch {
-	case mismatchAt >= 0:
-		res.Outcome = OutcomeMismatch
-		res.Latency = mismatchAt
-	case core.Status() == iss.StatusErrorMode:
-		res.Outcome = OutcomeErrorMode
-		res.Latency = int64(res.Cycles)
-	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
-		res.Outcome = OutcomeHang
-	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
-		res.Outcome = OutcomeTruncated
-		res.Latency = int64(res.Cycles)
-	default:
-		res.Outcome = OutcomeNoEffect
-	}
+	r.runFaulted(core, c)
+	r.classify(&res, core, bus, c, 0)
 	return res
 }

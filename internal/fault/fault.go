@@ -119,6 +119,12 @@ type Options struct {
 	// mismatch (ablation A1 in DESIGN.md). The classification is
 	// identical; only the campaign cost changes.
 	NoEarlyExit bool
+	// NoCheckpoint disables the checkpointed campaign engine: every
+	// experiment then re-simulates the warm-up prefix from reset instead
+	// of forking from the golden-run snapshot at the injection instant.
+	// Classifications are identical either way; disabling is only useful
+	// for debugging the engine or measuring its speedup.
+	NoCheckpoint bool
 }
 
 // Runner executes fault-injection experiments for one program.
@@ -131,6 +137,22 @@ type Runner struct {
 	// GoldenStatus is the clean run's terminal status.
 	GoldenStatus iss.Status
 	budget       uint64
+
+	// Golden-run checkpoint, captured lazily on first use (the campaign
+	// engine forks every experiment from it instead of re-simulating the
+	// fault-free prefix up to the injection instant).
+	ckptOnce sync.Once
+	ckpt     *checkpoint
+}
+
+// freshCore builds a clean RTL core over a newly loaded memory image of
+// the program (shared by the golden run, every from-reset experiment and
+// the checkpoint capture, so all of them load the program identically).
+func freshCore(p *asm.Program) (*leon3.Core, *mem.Bus) {
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	bus := mem.NewBus(m)
+	return leon3.New(bus, p.Entry), bus
 }
 
 // NewRunner builds the golden reference by running the program on a clean
@@ -142,9 +164,10 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 	if opts.ExtraCycles == 0 {
 		opts.ExtraCycles = 10000
 	}
-	m := mem.NewMemory()
-	m.LoadImage(p.Origin, p.Image)
-	core := leon3.New(mem.NewBus(m), p.Entry)
+	if opts.InjectAtFraction < 0 || opts.InjectAtFraction >= 1 {
+		return nil, fmt.Errorf("fault: InjectAtFraction %v outside [0,1)", opts.InjectAtFraction)
+	}
+	core, _ := freshCore(p)
 	st := core.Run(200_000_000)
 	if st != iss.StatusExited {
 		return nil, fmt.Errorf("fault: golden run did not exit: %v", st)
@@ -210,33 +233,83 @@ func Expand(nodes []NodeInfo, models ...rtl.FaultModel) []Experiment {
 	return out
 }
 
-// RunOne executes a single injection experiment.
-func (r *Runner) RunOne(e Experiment) Result {
-	m := mem.NewMemory()
-	m.LoadImage(r.prog.Origin, r.prog.Image)
-	bus := mem.NewBus(m)
-	core := leon3.New(bus, r.prog.Entry)
+// comparator is the early-exit golden-trace comparator state of one
+// faulted run: the index of the next expected golden write and the cycle
+// of the first off-core mismatch (-1 while none).
+type comparator struct {
+	mismatchAt int64
+	idx        int
+}
 
+// watch hooks the comparator onto the bus. start is the index of the next
+// expected golden write: 0 for a from-reset run, the checkpoint's write
+// count for a forked run (the golden prefix is identical by construction).
+func (r *Runner) watch(bus *mem.Bus, core *leon3.Core, start int) *comparator {
+	c := &comparator{mismatchAt: -1, idx: start}
+	bus.OnWrite = func(a mem.Access) {
+		if c.mismatchAt >= 0 {
+			return
+		}
+		g := r.golden.Writes
+		if c.idx >= len(g) || a.Write != g[c.idx].Write || a.Addr != g[c.idx].Addr ||
+			a.Size != g[c.idx].Size || a.Data != g[c.idx].Data {
+			c.mismatchAt = int64(core.Cycles())
+		}
+		c.idx++
+	}
+	return c
+}
+
+// runFaulted advances a core with an armed fault until exit, error mode,
+// the cycle budget, or (unless NoEarlyExit) the first off-core mismatch.
+func (r *Runner) runFaulted(core *leon3.Core, c *comparator) {
+	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget &&
+		(r.opts.NoEarlyExit || c.mismatchAt < 0) {
+		core.StepCycle()
+	}
+}
+
+// classify maps a finished faulted run onto its outcome and latency.
+// injectAt is the instant the fault was armed (latencies are relative to
+// it).
+func (r *Runner) classify(res *Result, core *leon3.Core, bus *mem.Bus, c *comparator, injectAt uint64) {
+	res.Cycles = core.Cycles()
+	switch {
+	case c.mismatchAt >= 0:
+		res.Outcome = OutcomeMismatch
+		res.Latency = c.mismatchAt - int64(injectAt)
+	case core.Status() == iss.StatusErrorMode:
+		// Detected when off-core activity ceases: at the halt point.
+		res.Outcome = OutcomeErrorMode
+		res.Latency = int64(res.Cycles) - int64(injectAt)
+	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
+		res.Outcome = OutcomeHang
+	case c.idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
+		// Detected at program end, when the write count disagrees.
+		res.Outcome = OutcomeTruncated
+		res.Latency = int64(res.Cycles) - int64(injectAt)
+	default:
+		res.Outcome = OutcomeNoEffect
+	}
+}
+
+// RunOne executes a single injection experiment. When the checkpointed
+// engine is active the experiment forks from the golden-run snapshot at
+// the injection instant; otherwise it re-simulates from reset. Both paths
+// produce identical results.
+func (r *Runner) RunOne(e Experiment) Result {
+	if ck := r.checkpoint(); ck != nil {
+		if res, ok := r.runForked(ck, e); ok {
+			return res
+		}
+	}
+	core, bus := freshCore(r.prog)
 	res := Result{
 		Fault:   rtl.Fault{Node: e.Node.Node, Model: e.Model},
 		Unit:    e.Node.Unit,
 		Latency: -1,
 	}
-
-	// Early-exit comparator at the off-core boundary.
-	mismatchAt := int64(-1)
-	idx := 0
-	bus.OnWrite = func(a mem.Access) {
-		if mismatchAt >= 0 {
-			return
-		}
-		g := r.golden.Writes
-		if idx >= len(g) || a.Write != g[idx].Write || a.Addr != g[idx].Addr ||
-			a.Size != g[idx].Size || a.Data != g[idx].Data {
-			mismatchAt = int64(core.Cycles())
-		}
-		idx++
-	}
+	c := r.watch(bus, core, 0)
 
 	// Run to the injection instant, arm the fault, continue.
 	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
@@ -246,29 +319,8 @@ func (r *Runner) RunOne(e Experiment) Result {
 		res.Outcome = OutcomeNoEffect
 		return res
 	}
-	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget &&
-		(r.opts.NoEarlyExit || mismatchAt < 0) {
-		core.StepCycle()
-	}
-	res.Cycles = core.Cycles()
-
-	switch {
-	case mismatchAt >= 0:
-		res.Outcome = OutcomeMismatch
-		res.Latency = mismatchAt - int64(r.opts.InjectAtCycle)
-	case core.Status() == iss.StatusErrorMode:
-		// Detected when off-core activity ceases: at the halt point.
-		res.Outcome = OutcomeErrorMode
-		res.Latency = int64(res.Cycles) - int64(r.opts.InjectAtCycle)
-	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
-		res.Outcome = OutcomeHang
-	case idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
-		// Detected at program end, when the write count disagrees.
-		res.Outcome = OutcomeTruncated
-		res.Latency = int64(res.Cycles) - int64(r.opts.InjectAtCycle)
-	default:
-		res.Outcome = OutcomeNoEffect
-	}
+	r.runFaulted(core, c)
+	r.classify(&res, core, bus, c, r.opts.InjectAtCycle)
 	return res
 }
 

@@ -1,0 +1,64 @@
+package leon3
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+	"repro/internal/sparc"
+)
+
+// Snapshot captures the complete dynamic state of a core at a cycle
+// boundary: every RTL signal and memory array via the kernel snapshot,
+// plus the architectural instruction counters, pipeline diagnostics and
+// run status. Together with a mem.Image of the bus memory it is enough to
+// fork bit-identical continuations of a run — the checkpoint mechanism the
+// fault-injection campaign engine uses to avoid re-simulating the golden
+// warm-up prefix for every experiment.
+type Snapshot struct {
+	kern     *rtl.Snapshot
+	icount   uint64
+	opCounts [sparc.NumOps]uint64
+	stalls   [6]uint64
+	status   Status
+	trapType uint8
+	entry    uint32
+}
+
+// Cycle returns the cycle count at which the snapshot was taken.
+func (s *Snapshot) Cycle() uint64 { return s.kern.Cycle() }
+
+// Snapshot captures the core's dynamic state as a deep copy; the core may
+// keep running without disturbing it. Bus state (memory contents, off-core
+// trace) is owned by the bus and must be snapshotted separately.
+func (c *Core) Snapshot() *Snapshot {
+	return &Snapshot{
+		kern:     c.K.Snapshot(),
+		icount:   c.Icount,
+		opCounts: c.OpCounts,
+		stalls: [6]uint64{c.StallMismatch, c.StallEmpty, c.StallDCache,
+			c.StallMulDiv, c.StallLoadUse, c.StallAnnul},
+		status:   c.status,
+		trapType: c.trapType,
+		entry:    c.entry,
+	}
+}
+
+// Restore loads a snapshot into the core, which must have been built by
+// New with the same entry point (the kernel structure is deterministic, so
+// any same-entry core matches). The core's bus is left untouched: callers
+// fork the memory image and preload the trace prefix themselves.
+func (c *Core) Restore(s *Snapshot) error {
+	if s.entry != c.entry {
+		return fmt.Errorf("leon3: snapshot entry %08x does not match core entry %08x", s.entry, c.entry)
+	}
+	if err := c.K.Restore(s.kern); err != nil {
+		return err
+	}
+	c.Icount = s.icount
+	c.OpCounts = s.opCounts
+	c.StallMismatch, c.StallEmpty, c.StallDCache = s.stalls[0], s.stalls[1], s.stalls[2]
+	c.StallMulDiv, c.StallLoadUse, c.StallAnnul = s.stalls[3], s.stalls[4], s.stalls[5]
+	c.status = s.status
+	c.trapType = s.trapType
+	return nil
+}

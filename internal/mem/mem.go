@@ -22,9 +22,12 @@ const pageBits = 12
 const pageSize = 1 << pageBits
 
 // Memory is a sparse, page-granular, big-endian 32-bit address space.
-// The zero value is an empty memory ready for use.
+// A memory may sit as a copy-on-write overlay on top of a frozen Image
+// (see Snapshot/Fork): reads fall through to the image, the first write
+// to a shared page copies it into the overlay.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	base  map[uint32]*[pageSize]byte // frozen COW base; never written
 }
 
 // NewMemory returns an empty memory.
@@ -34,11 +37,18 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageBits
-	p := m.pages[pn]
-	if p == nil && create {
-		p = new([pageSize]byte)
-		m.pages[pn] = p
+	if p := m.pages[pn]; p != nil {
+		return p
 	}
+	bp := m.base[pn]
+	if !create {
+		return bp
+	}
+	p := new([pageSize]byte)
+	if bp != nil {
+		*p = *bp
+	}
+	m.pages[pn] = p
 	return p
 }
 
@@ -104,15 +114,62 @@ func (m *Memory) LoadImage(base uint32, image []byte) {
 // between fault-injection runs without re-assembling the workload).
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for pn, p := range m.pages {
-		cp := new([pageSize]byte)
-		*cp = *p
-		c.pages[pn] = cp
+	for _, layer := range []map[uint32]*[pageSize]byte{m.base, m.pages} {
+		for pn, p := range layer {
+			cp := new([pageSize]byte)
+			*cp = *p
+			c.pages[pn] = cp
+		}
 	}
 	return c
 }
 
+// Image is a frozen page set produced by Snapshot. It backs any number of
+// copy-on-write forks; the pages themselves are never written again, so
+// concurrent forks may read them without synchronization.
+type Image struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// Snapshot freezes the memory's current contents into an Image and turns m
+// itself into a copy-on-write overlay over it, so the snapshotted state
+// stays intact even if m keeps executing. The operation is O(pages), not
+// O(bytes): no page data is copied.
+func (m *Memory) Snapshot() *Image {
+	flat := make(map[uint32]*[pageSize]byte, len(m.base)+len(m.pages))
+	for pn, p := range m.base {
+		flat[pn] = p
+	}
+	for pn, p := range m.pages {
+		flat[pn] = p
+	}
+	m.base = flat
+	m.pages = make(map[uint32]*[pageSize]byte)
+	return &Image{pages: flat}
+}
+
+// Fork returns an independent Memory whose initial contents are the image.
+// Pages are shared copy-on-write, so a fork is O(1) and forks never observe
+// each other's writes. This is what lets a fault-injection campaign branch
+// thousands of experiments off one golden-run checkpoint.
+func (img *Image) Fork() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte), base: img.pages}
+}
+
+// Pages returns the number of frozen pages in the image.
+func (img *Image) Pages() int { return len(img.pages) }
+
 // String summarizes the mapped pages.
 func (m *Memory) String() string {
-	return fmt.Sprintf("mem{%d pages}", len(m.pages))
+	private := len(m.pages)
+	shared := 0
+	for pn := range m.base {
+		if _, own := m.pages[pn]; !own {
+			shared++
+		}
+	}
+	if shared > 0 {
+		return fmt.Sprintf("mem{%d pages, %d shared}", private+shared, shared)
+	}
+	return fmt.Sprintf("mem{%d pages}", private)
 }

@@ -1,0 +1,99 @@
+package rtl
+
+import "testing"
+
+// build constructs a small deterministic design: one register, one wire,
+// one array, and a process that accumulates the register into the array.
+func build() (*Kernel, *Signal, *Signal, *MemArray) {
+	k := NewKernel()
+	r := k.Reg("t.r", 8, 0)
+	w := k.Wire("t.w", 8, 0)
+	a := k.Array("t.a", 8, 4, 0)
+	k.Comb(func() {
+		w.Set(r.Get() + 1)
+		r.SetNext(w.Get())
+		a.Write(int(k.Now())&3, a.Read(int(k.Now())&3)+r.Get())
+	})
+	return k, r, w, a
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	k1, _, _, _ := build()
+	for i := 0; i < 7; i++ {
+		k1.Cycle()
+	}
+	snap := k1.Snapshot()
+
+	// The source kernel keeps running; the snapshot must be unaffected.
+	for i := 0; i < 5; i++ {
+		k1.Cycle()
+	}
+
+	k2, _, _, _ := build()
+	if err := k2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Now() != 7 {
+		t.Fatalf("restored cycle = %d", k2.Now())
+	}
+
+	// Both kernels replayed from the same point must stay in lockstep.
+	k3, _, _, _ := build()
+	if err := k3.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		k2.Cycle()
+		k3.Cycle()
+	}
+	for i, s := range k2.Signals() {
+		if s.Get() != k3.Signals()[i].Get() {
+			t.Errorf("signal %s diverged: %x vs %x", s.Name(), s.Get(), k3.Signals()[i].Get())
+		}
+	}
+	for i, a := range k2.Arrays() {
+		for w := 0; w < a.Len(); w++ {
+			if a.Read(w) != k3.Arrays()[i].Read(w) {
+				t.Errorf("array %s[%d] diverged", a.Name(), w)
+			}
+		}
+	}
+}
+
+func TestRestoreClearsFaults(t *testing.T) {
+	k, r, _, _ := build()
+	k.Cycle()
+	snap := k.Snapshot()
+	if err := k.Inject(Fault{Node: Node{Name: "t.r", Bit: 0}, Model: StuckAt1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Faults()) != 0 {
+		t.Error("restore kept armed faults")
+	}
+	r.cur = 0
+	if r.Get() != 0 {
+		t.Error("restore kept fault forcing")
+	}
+}
+
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	k1, _, _, _ := build()
+	snap := k1.Snapshot()
+
+	k2 := NewKernel()
+	k2.Reg("other", 8, 0)
+	if err := k2.Restore(snap); err == nil {
+		t.Error("restore into a different design succeeded")
+	}
+
+	k3 := NewKernel()
+	k3.Reg("t.r", 8, 0)
+	k3.Wire("t.w", 8, 0)
+	k3.Array("t.a", 8, 2, 0) // wrong word count
+	if err := k3.Restore(snap); err == nil {
+		t.Error("restore into a resized array succeeded")
+	}
+}
