@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke vet fmt-check lint
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke vet fmt-check lint
 
 all: build test
 
@@ -19,6 +19,17 @@ bench:
 # exercises the checkpointed campaign speedup path on every PR.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Full benchmark suite distilled to JSON (benchmark name -> ns/op plus
+# custom metrics). BENCH_PR2.json is the committed perf baseline; rerun
+# this target on comparable hardware to refresh it.
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 2s -out BENCH_PR2.json
+
+# CI variant: one iteration of every benchmark, JSON to stdout. Validates
+# the whole suite and the benchjson pipeline without committing numbers.
+bench-json-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 1x -out -
 
 vet:
 	$(GO) vet ./...

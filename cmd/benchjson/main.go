@@ -1,0 +1,112 @@
+// Command benchjson runs the repository benchmark suite and distills the
+// result into a JSON perf record: benchmark name -> ns/op plus every
+// custom metric the benchmarks report (cycles/s, exp/s, Pf-%, ...).
+// The committed baseline lives in BENCH_PR2.json; CI runs the 1x smoke
+// variant on every change (make bench-json-smoke) so the tool and the
+// whole suite stay green, and fresh baselines are cut with
+// make bench-json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is the emitted perf document.
+type Record struct {
+	Schema     string                        `json:"schema"`
+	Command    string                        `json:"command"`
+	Go         string                        `json:"go,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test (a duration, or Nx for fixed iterations)")
+	count := flag.Int("count", 1, "go test -count; repeated measurements are averaged")
+	out := flag.String("out", "BENCH_PR2.json", `output path ("-" for stdout)`)
+	flag.Parse()
+
+	args := []string{"test", "-bench=" + *bench, "-benchtime=" + *benchtime,
+		"-count=" + strconv.Itoa(*count), "-run=^$", "."}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	// Tee the raw bench output to stderr so long runs show progress and
+	// the paper-style artifacts the benchmarks print stay visible.
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rec := parse(buf.String())
+	rec.Command = "go " + strings.Join(args, " ")
+	rec.Go = runtime.Version()
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// parse extracts benchmark result lines from go test -bench output. Each
+// line reads "BenchmarkName  N  v1 unit1  v2 unit2 ..."; every value/unit
+// pair becomes a metric. Repeated lines (go test -count > 1) are
+// averaged.
+func parse(output string) *Record {
+	rec := &Record{Schema: "bench-json/1", Benchmarks: map[string]map[string]float64{}}
+	seen := map[string]map[string]int{}
+	for _, line := range strings.Split(output, "\n") {
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.CPU = strings.TrimSpace(v)
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+			continue
+		}
+		// The name is kept exactly as go test prints it (minus the
+		// Benchmark prefix), including any -GOMAXPROCS suffix — sub-
+		// benchmark names like nodes-64 make a smarter strip ambiguous.
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue // not an iteration count; some other output line
+		}
+		metrics := rec.Benchmarks[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+			rec.Benchmarks[name] = metrics
+			seen[name] = map[string]int{}
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := f[i+1]
+			n := seen[name][unit]
+			metrics[unit] = (metrics[unit]*float64(n) + v) / float64(n+1)
+			seen[name][unit] = n + 1
+		}
+	}
+	return rec
+}

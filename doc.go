@@ -4,9 +4,11 @@
 //
 // The public API lives in repro/core; the benchmark harness in
 // bench_test.go regenerates every table and figure of the paper's
-// evaluation. See README.md for the architecture overview, DESIGN.md for
-// the system inventory and EXPERIMENTS.md for paper-versus-measured
-// results.
+// evaluation and prints the paper-versus-measured quantities as custom
+// benchmark metrics. See README.md for the architecture overview and
+// DESIGN.md for the system inventory, the documented microarchitectural
+// deviations, the ablation suite and the slab-kernel/pooled-engine
+// design.
 //
 // Fault-injection campaigns run on the checkpointed engine: the golden
 // (fault-free) warm-up prefix up to the injection instant is simulated

@@ -6,6 +6,7 @@ package campaign
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/diversity"
@@ -61,16 +62,59 @@ func (o Options) iters() int {
 // reset values (the paper's "fixed injection instant").
 const injectFraction = 0.05
 
-// runnerFor builds a fault runner for a workload configuration.
+// runnerKey identifies a memoized fault runner: the workload, its
+// configuration and the runner options that shape golden run and
+// checkpoint. Campaign options that only affect sampling (Nodes, Seed,
+// Workers) deliberately do not participate.
+type runnerKey struct {
+	name         string
+	cfg          workloads.Config
+	noCheckpoint bool
+}
+
+// runnerCache memoizes fault runners process-wide, so the golden run and
+// checkpoint of each (workload, config) pair are simulated once and then
+// shared across Figure3/4/5/6/7 and Eq1 — Figure 7 alone used to rebuild
+// the same six runners Figure 5 had already built. Runners are safe for
+// concurrent campaigns, so sharing one across experiment functions is
+// sound; entries live for the process lifetime (a dozen small cores).
+var runnerCache struct {
+	mu sync.Mutex
+	m  map[runnerKey]*runnerEntry
+}
+
+type runnerEntry struct {
+	once sync.Once
+	r    *fault.Runner
+	err  error
+}
+
+// runnerFor returns the memoized fault runner for a workload
+// configuration, building it (golden run included) on first use.
 func runnerFor(o Options, name string, cfg workloads.Config) (*fault.Runner, error) {
-	w, err := workloads.Build(name, cfg)
-	if err != nil {
-		return nil, err
+	key := runnerKey{name: name, cfg: cfg, noCheckpoint: o.NoCheckpoint}
+	runnerCache.mu.Lock()
+	if runnerCache.m == nil {
+		runnerCache.m = make(map[runnerKey]*runnerEntry)
 	}
-	return fault.NewRunner(w.Program, fault.Options{
-		InjectAtFraction: injectFraction,
-		NoCheckpoint:     o.NoCheckpoint,
+	e := runnerCache.m[key]
+	if e == nil {
+		e = &runnerEntry{}
+		runnerCache.m[key] = e
+	}
+	runnerCache.mu.Unlock()
+	e.once.Do(func() {
+		w, err := workloads.Build(name, cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.r, e.err = fault.NewRunner(w.Program, fault.Options{
+			InjectAtFraction: injectFraction,
+			NoCheckpoint:     o.NoCheckpoint,
+		})
 	})
+	return e.r, e.err
 }
 
 // pfOf runs one (workload, target, model) campaign and returns Pf plus the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/workloads"
 )
 
 // small keeps test campaigns fast; benchmarks use larger samples.
@@ -216,4 +217,39 @@ func TestSimTimeRatio(t *testing.T) {
 		t.Errorf("campaign size %d suspiciously small", res.CampaignRuns)
 	}
 	t.Logf("%s", res.Render())
+}
+
+// TestRunnerCacheMemoizes pins the campaign-wide golden-run reuse: the
+// same (workload, config, runner options) key must yield the same cached
+// runner — one golden run and one checkpoint per process, shared across
+// every figure — while a different config or engine option builds its
+// own.
+func TestRunnerCacheMemoizes(t *testing.T) {
+	o := Options{}
+	cfg := workloads.Config{Iterations: 2}
+	a, err := runnerFor(o, "rspeed", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runnerFor(o, "rspeed", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical key rebuilt the runner (golden run re-simulated)")
+	}
+	c, err := runnerFor(o, "rspeed", workloads.Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different iteration count shared a runner")
+	}
+	d, err := runnerFor(Options{NoCheckpoint: true}, "rspeed", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("NoCheckpoint shared a checkpointed runner")
+	}
 }

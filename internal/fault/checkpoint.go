@@ -4,7 +4,6 @@ import (
 	"repro/internal/iss"
 	"repro/internal/leon3"
 	"repro/internal/mem"
-	"repro/internal/rtl"
 )
 
 // This file implements the checkpointed campaign engine. The paper's cost
@@ -59,7 +58,7 @@ func (r *Runner) checkpoint() *checkpoint {
 // freezes every layer of its state. This is the only time the warm-up
 // prefix is simulated, no matter how many experiments the campaign runs.
 func (r *Runner) capture() *checkpoint {
-	core, bus := freshCore(r.prog)
+	core, bus := r.freshCore()
 	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
 		core.StepCycle()
 	}
@@ -72,31 +71,19 @@ func (r *Runner) capture() *checkpoint {
 	}
 }
 
-// runForked executes one experiment forked from the checkpoint: a fresh
-// core is restored to the snapshotted state over a copy-on-write fork of
-// the memory image, the fault is armed, and the run continues under the
-// usual comparator. The false return (snapshot/core structure mismatch)
-// never happens with a same-program core and makes RunOne fall back to
-// the from-reset path.
-func (r *Runner) runForked(ck *checkpoint, e Experiment) (Result, bool) {
-	bus := mem.NewBus(ck.img.Fork())
-	core := leon3.New(bus, r.prog.Entry)
+// runForked executes one experiment forked from the checkpoint on the
+// given core — a pooled worker core or (under Options.NoPool) a freshly
+// built one — whose bus must already sit on a copy-on-write fork of the
+// checkpoint image. The core is restored in place to the snapshotted
+// state, the fault is armed, and the run continues under the usual
+// comparator. The false return (snapshot/core structure mismatch) never
+// happens with a same-program core and makes RunOne fall back to the
+// from-reset path.
+func (r *Runner) runForked(core *leon3.Core, bus *mem.Bus, ck *checkpoint, e Experiment) (Result, bool) {
 	if err := core.Restore(ck.core); err != nil {
 		return Result{}, false
 	}
 	bus.Trace.Exited, bus.Trace.ExitCode = ck.exited, ck.exitCode
-
-	res := Result{
-		Fault:   rtl.Fault{Node: e.Node.Node, Model: e.Model},
-		Unit:    e.Node.Unit,
-		Latency: -1,
-	}
 	c := r.watch(bus, core, ck.writes)
-	if err := core.K.Inject(res.Fault); err != nil {
-		res.Outcome = OutcomeNoEffect
-		return res, true
-	}
-	r.runFaulted(core, c)
-	r.classify(&res, core, bus, c, r.opts.InjectAtCycle)
-	return res, true
+	return r.finish(core, bus, c, e), true
 }

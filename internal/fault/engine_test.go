@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/workloads"
+)
+
+// TestEngineEquivalence is the pooled slab engine's correctness contract:
+// the default engine (per-worker pooled cores restored in place from the
+// golden-run checkpoint) must produce bit-identical Result slices —
+// outcomes, latencies and run lengths, hence Pf — versus the PR-1
+// fork-per-experiment engine (a fresh core per experiment) and versus
+// from-reset re-simulation, across both injection targets and all three
+// permanent fault models.
+func TestEngineEquivalence(t *testing.T) {
+	w, err := workloads.Build("excerptA", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		opts Options
+	}{
+		{"pooled-checkpointed", Options{InjectAtFraction: 0.3}},
+		{"fork-per-experiment", Options{InjectAtFraction: 0.3, NoPool: true}},
+		{"pooled-from-reset", Options{InjectAtFraction: 0.3, NoCheckpoint: true}},
+		{"unpooled-from-reset", Options{InjectAtFraction: 0.3, NoCheckpoint: true, NoPool: true}},
+	}
+	for _, target := range []Target{TargetIU, TargetCMEM} {
+		t.Run(target.String(), func(t *testing.T) {
+			var ref []Result
+			for _, eng := range engines {
+				r, err := NewRunner(w.Program, eng.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nodes := SampleNodes(r.Nodes(target), 6, 7)
+				exps := Expand(nodes, rtl.FaultModels()...)
+				results := r.Campaign(exps, 3)
+				if ref == nil {
+					ref = results
+					continue
+				}
+				if !reflect.DeepEqual(ref, results) {
+					for i := range ref {
+						if !reflect.DeepEqual(ref[i], results[i]) {
+							t.Errorf("%s: experiment %d (%v) diverged: %+v vs %+v",
+								eng.name, i, exps[i].Node.Node, ref[i], results[i])
+						}
+					}
+					t.Fatalf("%s: results differ from %s", eng.name, engines[0].name)
+				}
+				if got, want := Pf(results), Pf(ref); got != want {
+					t.Fatalf("%s: Pf %v != %v", eng.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPooledCampaignRace drives the pooled engine through a parallel
+// campaign with more workers than experiments per slot, so `go test
+// -race` exercises concurrent checkout/restore of pooled cores, the
+// shared checkpoint and the copy-on-write image forks.
+func TestPooledCampaignRace(t *testing.T) {
+	w, err := workloads.Build("excerptB", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := SampleNodes(r.Nodes(TargetIU), 16, 11)
+	exps := Expand(nodes, rtl.StuckAt1, rtl.StuckAt0)
+	par := r.Campaign(exps, 8)
+	ser := r.Campaign(exps, 1)
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel pooled campaign diverged from serial")
+	}
+}
+
+// TestNodesCachedPerRunner pins the satellite fix: Nodes used to build a
+// complete throwaway core on every call; it is now enumerated once per
+// runner and the same backing slice is handed back.
+func TestNodesCachedPerRunner(t *testing.T) {
+	w, err := workloads.Build("excerptA", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []Target{TargetIU, TargetCMEM} {
+		a, b := r.Nodes(target), r.Nodes(target)
+		if len(a) == 0 {
+			t.Fatalf("%v: empty enumeration", target)
+		}
+		if &a[0] != &b[0] {
+			t.Errorf("%v: enumeration rebuilt on second call", target)
+		}
+	}
+	if fmt.Sprint(r.Nodes(TargetIU)[0]) == fmt.Sprint(r.Nodes(TargetCMEM)[0]) {
+		t.Error("IU and CMEM enumerations alias each other")
+	}
+}

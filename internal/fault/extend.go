@@ -23,7 +23,7 @@ type TransientExperiment struct {
 // the run continues under the same off-core comparison as permanent
 // faults.
 func (r *Runner) RunTransient(e TransientExperiment) Result {
-	core, bus := freshCore(r.prog)
+	core, bus := r.freshCore()
 	res := Result{
 		Fault:   rtl.Fault{Node: e.Node.Node},
 		Unit:    e.Node.Unit,
@@ -84,7 +84,7 @@ type BridgeExperiment struct {
 
 // RunBridge executes a bridging-fault experiment.
 func (r *Runner) RunBridge(e BridgeExperiment) Result {
-	core, bus := freshCore(r.prog)
+	core, bus := r.freshCore()
 	res := Result{
 		Fault:   rtl.Fault{Node: e.A.Node},
 		Unit:    e.A.Unit,

@@ -125,6 +125,12 @@ type Options struct {
 	// Classifications are identical either way; disabling is only useful
 	// for debugging the engine or measuring its speedup.
 	NoCheckpoint bool
+	// NoPool disables the pooled campaign engine: every experiment then
+	// builds a fresh RTL core (the fork-per-experiment engine of PR 1)
+	// instead of restoring a per-worker pooled core in place. Results are
+	// identical; the option exists for engine debugging and the
+	// engine-equivalence tests.
+	NoPool bool
 }
 
 // Runner executes fault-injection experiments for one program.
@@ -138,21 +144,34 @@ type Runner struct {
 	GoldenStatus iss.Status
 	budget       uint64
 
+	// baseImg is the pristine program memory, loaded once per runner;
+	// every from-reset run forks it copy-on-write instead of re-writing
+	// the image byte stream into a fresh memory.
+	baseImg *mem.Image
+
 	// Golden-run checkpoint, captured lazily on first use (the campaign
 	// engine forks every experiment from it instead of re-simulating the
 	// fault-free prefix up to the injection instant).
 	ckptOnce sync.Once
 	ckpt     *checkpoint
+
+	// engines pools reusable RTL cores: each campaign worker restores a
+	// pooled core in place per experiment instead of rebuilding the whole
+	// design graph with leon3.New.
+	engines sync.Pool
+
+	// Per-target injection-node enumeration, built once per runner (it
+	// used to construct a throwaway core on every call).
+	nodesOnce [2]sync.Once
+	nodesVal  [2][]NodeInfo
 }
 
-// freshCore builds a clean RTL core over a newly loaded memory image of
-// the program (shared by the golden run, every from-reset experiment and
-// the checkpoint capture, so all of them load the program identically).
-func freshCore(p *asm.Program) (*leon3.Core, *mem.Bus) {
-	m := mem.NewMemory()
-	m.LoadImage(p.Origin, p.Image)
-	bus := mem.NewBus(m)
-	return leon3.New(bus, p.Entry), bus
+// freshCore builds a clean RTL core over a copy-on-write fork of the
+// pristine program image (shared by every from-reset experiment and the
+// checkpoint capture, so all of them see identical memory).
+func (r *Runner) freshCore() (*leon3.Core, *mem.Bus) {
+	bus := mem.NewBus(r.baseImg.Fork())
+	return leon3.New(bus, r.prog.Entry), bus
 }
 
 // NewRunner builds the golden reference by running the program on a clean
@@ -167,18 +186,17 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 	if opts.InjectAtFraction < 0 || opts.InjectAtFraction >= 1 {
 		return nil, fmt.Errorf("fault: InjectAtFraction %v outside [0,1)", opts.InjectAtFraction)
 	}
-	core, _ := freshCore(p)
+	m := mem.NewMemory()
+	m.LoadImage(p.Origin, p.Image)
+	r := &Runner{prog: p, opts: opts, baseImg: m.Snapshot()}
+	core, _ := r.freshCore()
 	st := core.Run(200_000_000)
 	if st != iss.StatusExited {
 		return nil, fmt.Errorf("fault: golden run did not exit: %v", st)
 	}
-	r := &Runner{
-		prog:         p,
-		opts:         opts,
-		golden:       core.Bus.Trace,
-		GoldenCycles: core.Cycles(),
-		GoldenStatus: st,
-	}
+	r.golden = core.Bus.Trace
+	r.GoldenCycles = core.Cycles()
+	r.GoldenStatus = st
 	if opts.InjectAtFraction > 0 {
 		r.opts.InjectAtCycle = uint64(opts.InjectAtFraction * float64(r.GoldenCycles))
 	}
@@ -190,15 +208,23 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 func (r *Runner) Golden() *mem.Trace { return &r.golden }
 
 // Nodes enumerates the injectable nodes of a target, annotated with their
-// functional units.
+// functional units. The enumeration is computed once per runner and the
+// same slice is returned to every caller; callers must not mutate it.
 func (r *Runner) Nodes(target Target) []NodeInfo {
-	core := leon3.New(mem.NewBus(mem.NewMemory()), r.prog.Entry)
-	nodes := core.K.Nodes(target.Prefix())
-	out := make([]NodeInfo, len(nodes))
-	for i, n := range nodes {
-		out[i] = NodeInfo{Node: n, Unit: sparc.Unit(core.K.UnitOf(n.Name))}
+	i := 0
+	if target == TargetCMEM {
+		i = 1
 	}
-	return out
+	r.nodesOnce[i].Do(func() {
+		core := leon3.New(mem.NewBus(mem.NewMemory()), r.prog.Entry)
+		nodes := core.K.Nodes(target.Prefix())
+		out := make([]NodeInfo, len(nodes))
+		for j, n := range nodes {
+			out[j] = NodeInfo{Node: n, Unit: sparc.Unit(core.K.UnitOf(n.Name))}
+		}
+		r.nodesVal[i] = out
+	})
+	return r.nodesVal[i]
 }
 
 // SampleNodes draws a deterministic uniform sample of n nodes (statistical
@@ -293,27 +319,29 @@ func (r *Runner) classify(res *Result, core *leon3.Core, bus *mem.Bus, c *compar
 	}
 }
 
-// RunOne executes a single injection experiment. When the checkpointed
-// engine is active the experiment forks from the golden-run snapshot at
-// the injection instant; otherwise it re-simulates from reset. Both paths
-// produce identical results.
-func (r *Runner) RunOne(e Experiment) Result {
-	if ck := r.checkpoint(); ck != nil {
-		if res, ok := r.runForked(ck, e); ok {
-			return res
-		}
+// engine is a pooled per-worker execution context: one reusable RTL core
+// whose kernel state is restored in place per experiment, so the design
+// graph is built once per worker instead of once per experiment.
+type engine struct {
+	core *leon3.Core
+}
+
+// getEngine takes a pooled engine, building one on first use.
+func (r *Runner) getEngine() *engine {
+	if e, ok := r.engines.Get().(*engine); ok {
+		return e
 	}
-	core, bus := freshCore(r.prog)
+	core, _ := r.freshCore()
+	return &engine{core: core}
+}
+
+// finish arms the experiment's fault on a core positioned at the
+// injection instant and runs it to classification.
+func (r *Runner) finish(core *leon3.Core, bus *mem.Bus, c *comparator, e Experiment) Result {
 	res := Result{
 		Fault:   rtl.Fault{Node: e.Node.Node, Model: e.Model},
 		Unit:    e.Node.Unit,
 		Latency: -1,
-	}
-	c := r.watch(bus, core, 0)
-
-	// Run to the injection instant, arm the fault, continue.
-	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
-		core.StepCycle()
 	}
 	if err := core.K.Inject(res.Fault); err != nil {
 		res.Outcome = OutcomeNoEffect
@@ -322,6 +350,54 @@ func (r *Runner) RunOne(e Experiment) Result {
 	r.runFaulted(core, c)
 	r.classify(&res, core, bus, c, r.opts.InjectAtCycle)
 	return res
+}
+
+// runFromReset executes one experiment on a freshly reset core: the
+// warm-up prefix is simulated up to the injection instant, then the fault
+// is armed and the run continues under the comparator.
+func (r *Runner) runFromReset(core *leon3.Core, bus *mem.Bus, e Experiment) Result {
+	c := r.watch(bus, core, 0)
+	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
+		core.StepCycle()
+	}
+	return r.finish(core, bus, c, e)
+}
+
+// RunOne executes a single injection experiment. When the checkpointed
+// engine is active the experiment forks from the golden-run snapshot at
+// the injection instant; otherwise it re-simulates from reset. By default
+// both paths reuse a pooled core restored in place (see Options.NoPool
+// for the fork-per-experiment engine). All engine combinations produce
+// identical results.
+func (r *Runner) RunOne(e Experiment) Result {
+	ck := r.checkpoint()
+	if r.opts.NoPool {
+		if ck != nil {
+			bus := mem.NewBus(ck.img.Fork())
+			if res, ok := r.runForked(leon3.New(bus, r.prog.Entry), bus, ck, e); ok {
+				return res
+			}
+		}
+		core, bus := r.freshCore()
+		return r.runFromReset(core, bus, e)
+	}
+
+	eng := r.getEngine()
+	defer r.engines.Put(eng)
+	core := eng.core
+	if ck != nil {
+		bus := mem.NewBus(ck.img.Fork())
+		core.Bus = bus
+		if res, ok := r.runForked(core, bus, ck, e); ok {
+			return res
+		}
+		// A restore failure never happens with a same-program core; fall
+		// through to the from-reset path for robustness.
+	}
+	bus := mem.NewBus(r.baseImg.Fork())
+	core.Bus = bus
+	core.Reset()
+	return r.runFromReset(core, bus, e)
 }
 
 // Campaign runs the experiments across workers and returns results in

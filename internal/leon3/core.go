@@ -214,6 +214,11 @@ type Core struct {
 	wRaOp2    *rtl.Signal
 	wRaSd     *rtl.Signal
 
+	// Precomputed stall groups (see rtl.Group): the architectural state
+	// held by executeComb every cycle, and the per-stage register sets
+	// frozen by stallComb.
+	gArch, gFE, gRA, gEX, gME rtl.Group
+
 	// Icount counts architecturally executed (non-annulled) instructions.
 	Icount uint64
 	// OpCounts mirrors the ISS histogram for cross-checks.
@@ -401,7 +406,43 @@ func New(bus *mem.Bus, entry uint32) *Core {
 	c.dc.hit = k.Wire("cmem.dc.hit", 1, uCC)
 	c.wDcStall = k.Wire("cmem.dc.stall", 1, uCC)
 
-	// Reset state.
+	// Stall groups: the architectural state executeComb holds by default
+	// each cycle, and the per-stage register sets stallComb freezes.
+	c.gArch = k.Group(
+		c.arch.expPC, c.arch.expNPC, c.arch.icc, c.arch.cwp,
+		c.arch.sS, c.arch.sPS, c.arch.sET, c.arch.wim, c.arch.tbr,
+		c.arch.y, c.arch.annul, c.arch.redirT, c.arch.errm, c.arch.halt, c.arch.tt,
+		c.md.count, c.md.acc, c.md.quot, c.md.neg, c.md.ovf)
+	c.gFE = k.Group(c.fe.pc, c.de.valid, c.de.pc, c.de.inst, c.ic.counter)
+	c.gRA = k.Group(c.ra.valid, c.ra.pc, c.ra.op, c.ra.rd, c.ra.rs1, c.ra.rs2,
+		c.ra.imm, c.ra.simm, c.ra.disp, c.ra.annul, c.ra.cond, c.ra.raw)
+	c.gEX = k.Group(c.ex.valid, c.ex.pc, c.ex.op, c.ex.rd, c.ex.a, c.ex.b,
+		c.ex.sd, c.ex.disp, c.ex.annul, c.ex.cond, c.ex.rs1)
+	c.gME = k.Group(c.me.valid, c.me.isMem, c.me.load, c.me.store, c.me.dbl,
+		c.me.size, c.me.signed, c.me.addr, c.me.wdata, c.me.wdata2,
+		c.me.swap, c.me.stub, c.me.result, c.me.wbEn, c.me.wbIdx,
+		c.me.wb2En, c.me.wb2Idx, c.me.wb2Val)
+
+	c.resetSignals()
+
+	// Processes in evaluation order: write-first register file, then the
+	// older stages before the younger ones so that bypass wires are valid
+	// when the register-access stage samples them.
+	k.Comb(c.writebackComb)
+	k.Comb(c.decodeComb)
+	k.Comb(c.memoryComb)
+	k.Comb(c.executeComb)
+	k.Comb(c.regaccessComb)
+	k.Comb(c.fetchComb)
+	k.Comb(c.stallComb)
+	return c
+}
+
+// resetSignals drives the power-on values onto the (all-zero) kernel
+// state: entry PC into the fetch and expected-PC chain, top window,
+// supervisor mode with traps enabled, and window 0 invalid.
+func (c *Core) resetSignals() {
+	entry := c.entry
 	c.fe.pc.Set(uint64(entry))
 	c.fe.pc.SetNext(uint64(entry))
 	c.arch.expPC.Set(uint64(entry))
@@ -416,18 +457,23 @@ func New(bus *mem.Bus, entry uint32) *Core {
 	c.arch.sET.SetNext(1)
 	c.arch.wim.Set(1)
 	c.arch.wim.SetNext(1)
+}
 
-	// Processes in evaluation order: write-first register file, then the
-	// older stages before the younger ones so that bypass wires are valid
-	// when the register-access stage samples them.
-	k.Comb(c.writebackComb)
-	k.Comb(c.decodeComb)
-	k.Comb(c.memoryComb)
-	k.Comb(c.executeComb)
-	k.Comb(c.regaccessComb)
-	k.Comb(c.fetchComb)
-	k.Comb(c.stallComb)
-	return c
+// Reset returns the core to its power-on state in place — every RTL
+// signal and array back to the reset values, counters and diagnostics
+// zeroed, status running — so a pooled core can be reused across
+// fault-injection experiments instead of being rebuilt. The bus is left
+// untouched: callers install a fresh (or forked) memory image themselves
+// by assigning Bus before resuming execution.
+func (c *Core) Reset() {
+	c.K.ResetState()
+	c.resetSignals()
+	c.Icount = 0
+	c.OpCounts = [sparc.NumOps]uint64{}
+	c.StallMismatch, c.StallEmpty, c.StallDCache = 0, 0, 0
+	c.StallMulDiv, c.StallLoadUse, c.StallAnnul = 0, 0, 0
+	c.status = iss.StatusRunning
+	c.trapType = 0
 }
 
 // physReg maps architectural register r under window w to its physical

@@ -28,17 +28,7 @@ func (c *Core) executeComb() {
 	c.wMemAddr.Set(0)
 	c.wNextCWP.Set(c.arch.cwp.Get())
 
-	holdArch := func() {
-		for _, s := range []interface{ Hold() }{
-			c.arch.expPC, c.arch.expNPC, c.arch.icc, c.arch.cwp,
-			c.arch.sS, c.arch.sPS, c.arch.sET, c.arch.wim, c.arch.tbr,
-			c.arch.y, c.arch.annul, c.arch.redirT, c.arch.errm, c.arch.halt, c.arch.tt,
-			c.md.count, c.md.acc, c.md.quot, c.md.neg, c.md.ovf,
-		} {
-			s.Hold()
-		}
-	}
-	holdArch()
+	c.gArch.Hold()
 
 	meBubble := func() {
 		c.me.valid.SetNext(0)

@@ -354,15 +354,9 @@ func (c *Core) fetchComb() {
 	c.fe.pc.SetNext(uint64(pc + 4))
 }
 
-// holdMany stalls a set of registers.
-func holdMany(sigs ...interface{ Hold() }) {
-	for _, s := range sigs {
-		s.Hold()
-	}
-}
-
 // stallComb runs last and applies the pipeline holds demanded by the
-// stall wires. Stall scopes (younger stages always freeze first):
+// stall wires, using the precomputed per-stage hold groups. Stall scopes
+// (younger stages always freeze first):
 //
 //	load-use:  FE DE RA frozen, EX bubbled
 //	muldiv:    FE DE RA EX frozen (ME was bubbled by EX)
@@ -374,21 +368,16 @@ func (c *Core) stallComb() {
 	if !(dc || md || lu) {
 		return
 	}
-	holdMany(c.fe.pc, c.de.valid, c.de.pc, c.de.inst, c.ic.counter)
-	holdMany(c.ra.valid, c.ra.pc, c.ra.op, c.ra.rd, c.ra.rs1, c.ra.rs2,
-		c.ra.imm, c.ra.simm, c.ra.disp, c.ra.annul, c.ra.cond, c.ra.raw)
+	c.gFE.Hold()
+	c.gRA.Hold()
 	if lu && !dc && !md {
 		c.StallLoadUse++
 		c.ex.valid.SetNext(0)
 		return
 	}
-	holdMany(c.ex.valid, c.ex.pc, c.ex.op, c.ex.rd, c.ex.a, c.ex.b,
-		c.ex.sd, c.ex.disp, c.ex.annul, c.ex.cond, c.ex.rs1)
+	c.gEX.Hold()
 	if dc {
-		holdMany(c.me.valid, c.me.isMem, c.me.load, c.me.store, c.me.dbl,
-			c.me.size, c.me.signed, c.me.addr, c.me.wdata, c.me.wdata2,
-			c.me.swap, c.me.stub, c.me.result, c.me.wbEn, c.me.wbIdx,
-			c.me.wb2En, c.me.wb2Idx, c.me.wb2Val)
+		c.gME.Hold()
 		// The architectural state scheduled by a skipped EX must also
 		// freeze (executeComb held off all its commits already).
 	}

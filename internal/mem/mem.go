@@ -103,10 +103,14 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 	m.Write16(addr+2, uint16(v))
 }
 
-// LoadImage copies a big-endian image to base.
+// LoadImage copies a big-endian image to base, one page-sized chunk at a
+// time (a byte-wise load would pay a page lookup per byte).
 func (m *Memory) LoadImage(base uint32, image []byte) {
-	for i, b := range image {
-		m.Write8(base+uint32(i), b)
+	for len(image) > 0 {
+		p := m.page(base, true)
+		n := copy(p[base&(pageSize-1):], image)
+		image = image[n:]
+		base += uint32(n)
 	}
 }
 

@@ -21,7 +21,7 @@ func (k *Kernel) FlipBit(n Node) error {
 		if n.Bit >= s.width || n.Word != 0 {
 			return fmt.Errorf("rtl: flip %v out of range", n)
 		}
-		s.cur ^= bit
+		*s.curp ^= bit
 		return nil
 	}
 	for _, a := range k.arrays {
@@ -80,8 +80,17 @@ func (k *Kernel) InjectBridge(a, b Node, kind BridgeKind) error {
 	if sa == sb && a.Bit == b.Bit {
 		return fmt.Errorf("rtl: cannot bridge a bit to itself")
 	}
+	if sa.bridges == nil {
+		k.bSigs = append(k.bSigs, sa)
+	}
+	if sb.bridges == nil && sb != sa {
+		k.bSigs = append(k.bSigs, sb)
+	}
 	sa.bridges = append(sa.bridges, bridge{other: sb, selfBit: a.Bit, otherBit: b.Bit, kind: kind})
 	sb.bridges = append(sb.bridges, bridge{other: sa, selfBit: b.Bit, otherBit: a.Bit, kind: kind})
+	sa.updateSlow()
+	sb.updateSlow()
+	k.dirty = true
 	return nil
 }
 
@@ -98,7 +107,7 @@ func (k *Kernel) findSignal(name string) *Signal {
 func (s *Signal) applyBridges(v uint64) uint64 {
 	for _, br := range s.bridges {
 		selfBit := v >> br.selfBit & 1
-		otherBit := br.other.cur >> br.otherBit & 1
+		otherBit := *br.other.curp >> br.otherBit & 1
 		var res uint64
 		if br.kind == WiredOR {
 			res = selfBit | otherBit
@@ -110,9 +119,17 @@ func (s *Signal) applyBridges(v uint64) uint64 {
 	return v
 }
 
-// ClearBridges removes all bridging faults.
+// ClearBridges removes all bridging faults. Like ClearFaults, a clean
+// design is a single flag check and only the bridged nets are visited
+// otherwise.
 func (k *Kernel) ClearBridges() {
-	for _, s := range k.signals {
-		s.bridges = nil
+	if !k.dirty {
+		return
 	}
+	for _, s := range k.bSigs {
+		s.bridges = nil
+		s.updateSlow()
+	}
+	k.bSigs = nil
+	k.dirty = len(k.fSigs) > 0 || len(k.fArrs) > 0
 }

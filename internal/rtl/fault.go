@@ -90,6 +90,9 @@ func (k *Kernel) Inject(f Fault) error {
 		if f.Node.Bit >= s.width || f.Node.Word != 0 {
 			return fmt.Errorf("rtl: fault %v out of range (width %d)", f, s.width)
 		}
+		if s.fMask == 0 {
+			k.fSigs = append(k.fSigs, s)
+		}
 		s.fMask |= bit
 		switch f.Model {
 		case StuckAt1:
@@ -97,9 +100,11 @@ func (k *Kernel) Inject(f Fault) error {
 		case StuckAt0:
 			s.fVal &^= bit
 		case OpenLine:
-			s.fVal = s.fVal&^bit | s.cur&bit
+			s.fVal = s.fVal&^bit | *s.curp&bit
 		}
+		s.updateSlow()
 		k.faults = append(k.faults, f)
+		k.dirty = true
 		return nil
 	}
 	for _, a := range k.arrays {
@@ -112,6 +117,9 @@ func (k *Kernel) Inject(f Fault) error {
 		if a.fWord >= 0 && a.fWord != f.Node.Word {
 			return fmt.Errorf("rtl: array %s already faulted at word %d", a.name, a.fWord)
 		}
+		if a.fWord < 0 {
+			k.fArrs = append(k.fArrs, a)
+		}
 		a.fWord = f.Node.Word
 		a.fMask |= bit
 		switch f.Model {
@@ -123,6 +131,7 @@ func (k *Kernel) Inject(f Fault) error {
 			a.fVal = a.fVal&^bit | a.data[f.Node.Word]&bit
 		}
 		k.faults = append(k.faults, f)
+		k.dirty = true
 		return nil
 	}
 	return fmt.Errorf("rtl: unknown node %v", f.Node)
@@ -131,13 +140,21 @@ func (k *Kernel) Inject(f Fault) error {
 // Faults returns the armed faults.
 func (k *Kernel) Faults() []Fault { return k.faults }
 
-// ClearFaults removes all armed faults.
+// ClearFaults removes all armed faults. The kernel dirty flag makes
+// clearing a clean design — the common case on the campaign engine's
+// per-experiment restore path — a single check, and only the (few) nodes
+// that carry a fault are visited otherwise.
 func (k *Kernel) ClearFaults() {
-	for _, s := range k.signals {
-		s.fMask, s.fVal = 0, 0
+	if !k.dirty {
+		return
 	}
-	for _, a := range k.arrays {
+	for _, s := range k.fSigs {
+		s.fMask, s.fVal = 0, 0
+		s.updateSlow()
+	}
+	for _, a := range k.fArrs {
 		a.fWord, a.fMask, a.fVal = -1, 0, 0
 	}
-	k.faults = nil
+	k.fSigs, k.fArrs, k.faults = nil, nil, nil
+	k.dirty = len(k.bSigs) > 0
 }

@@ -9,6 +9,22 @@
 // signals without instrumenting the model. Three permanent fault models
 // are supported — stuck-at-0, stuck-at-1 and open-line (a disconnected
 // driver whose net retains the charge it had at injection time).
+//
+// # Slab state layout
+//
+// All dynamic state lives in kernel-owned flat slabs rather than in
+// per-signal heap objects: one []uint64 pair (committed/pending) for the
+// clocked signals, one pair for the wires, and one contiguous []uint64
+// backing every memory array. Signal and MemArray are thin handles:
+// a signal carries direct pointers into its slab slots, an array carries
+// a subslice view of the array slab. The layout buys three things on the
+// simulation hot path: the clock edge commits every register with a
+// single bulk copy of the register slab (no per-signal scan), Snapshot
+// and Restore are bulk slab copies instead of per-signal walks, and Get
+// collapses to one pointer load plus one well-predicted branch on a
+// per-signal slow-path flag (set only for the ≤1 faulted or bridged node
+// of an experiment, with the kernel-level dirty flag guarding the
+// campaign engine's clear/restore walks).
 package rtl
 
 import (
@@ -23,20 +39,26 @@ import (
 type Unit uint8
 
 // Signal is a named RTL net carrying up to 64 bits. Registers additionally
-// hold a pending next value committed on the clock edge.
+// hold a pending next value committed on the clock edge. The values
+// themselves live in the owning kernel's slabs; the Signal is a handle
+// pointing at its two slab slots.
 type Signal struct {
-	name  string
-	width int
-	mask  uint64 // width mask
+	curp *uint64 // committed value (slab slot)
+	nxtp *uint64 // pending value (slab slot)
+	mask uint64  // width mask
 
-	cur uint64 // visible value
-	nxt uint64 // pending value (registers only)
-	reg bool
+	slow  uint8 // nonzero when a fault or bridge is armed on this net
+	reg   bool
+	width int
+	idx   int32 // index within the reg or wire slab
 
 	fMask uint64 // faulted bits
 	fVal  uint64 // values of faulted bits
 
 	bridges []bridge // saboteur-style shorts to other nets
+
+	k    *Kernel
+	name string
 }
 
 // Name returns the hierarchical signal name.
@@ -49,13 +71,37 @@ func (s *Signal) Width() int { return s.width }
 func (s *Signal) IsReg() bool { return s.reg }
 
 // Get samples the signal as seen by consumers, with any injected fault
-// applied at the net.
+// applied at the net. The clean-design fast path is a single slab load;
+// only the (at most one) faulted or bridged net of an experiment takes
+// the slow path.
 func (s *Signal) Get() uint64 {
-	v := (s.cur &^ s.fMask) | s.fVal
+	if s.slow != 0 {
+		return s.getSlow()
+	}
+	return *s.curp
+}
+
+// getSlow samples the signal with the armed fault forcing and bridge
+// resolution applied. It is kept out of line so that Get (and GetBool)
+// stay small enough to inline at every sampling site; the call is taken
+// only on the faulted net, a handful of times per cycle at most.
+//
+//go:noinline
+func (s *Signal) getSlow() uint64 {
+	v := *s.curp&^s.fMask | s.fVal
 	if s.bridges != nil {
 		v = s.applyBridges(v)
 	}
 	return v
+}
+
+// updateSlow recomputes the slow-path flag after fault or bridge changes.
+func (s *Signal) updateSlow() {
+	if s.fMask != 0 || s.bridges != nil {
+		s.slow = 1
+	} else {
+		s.slow = 0
+	}
 }
 
 // GetBool samples a 1-bit signal.
@@ -63,7 +109,7 @@ func (s *Signal) GetBool() bool { return s.Get() != 0 }
 
 // Set drives a wire combinationally (visible to processes that run later
 // in the same cycle).
-func (s *Signal) Set(v uint64) { s.cur = v & s.mask }
+func (s *Signal) Set(v uint64) { *s.curp = v & s.mask }
 
 // SetBool drives a 1-bit wire.
 func (s *Signal) SetBool(v bool) {
@@ -75,7 +121,7 @@ func (s *Signal) SetBool(v bool) {
 }
 
 // SetNext schedules a register value for the next clock edge.
-func (s *Signal) SetNext(v uint64) { s.nxt = v & s.mask }
+func (s *Signal) SetNext(v uint64) { *s.nxtp = v & s.mask }
 
 // SetNextBool schedules a 1-bit register value.
 func (s *Signal) SetNextBool(v bool) {
@@ -88,22 +134,25 @@ func (s *Signal) SetNextBool(v bool) {
 
 // Next returns the currently scheduled next value (used by hold logic to
 // re-schedule the present value).
-func (s *Signal) Next() uint64 { return s.nxt }
+func (s *Signal) Next() uint64 { return *s.nxtp }
 
 // Hold re-schedules the current committed value, stalling the register.
-func (s *Signal) Hold() { s.nxt = s.cur }
+func (s *Signal) Hold() { *s.nxtp = *s.curp }
 
 // MemArray is an addressable RTL memory block (register file, cache tag or
-// data RAM) with per-bit fault support on a single cell at a time.
+// data RAM) with per-bit fault support on a single cell at a time. Its
+// words live in the kernel's contiguous array slab; data is a subslice
+// view into it.
 type MemArray struct {
-	name  string
-	width int
-	mask  uint64
 	data  []uint64
-
+	mask  uint64
 	fWord int // faulted word (-1 when clean)
 	fMask uint64
 	fVal  uint64
+
+	off   int // word offset into the kernel array slab
+	width int
+	name  string
 }
 
 // Name returns the array name.
@@ -128,8 +177,15 @@ func (a *MemArray) Read(i int) uint64 {
 func (a *MemArray) Write(i int, v uint64) { a.data[i] = v & a.mask }
 
 // Kernel owns the signals, arrays and processes of a design and advances
-// it cycle by cycle.
+// it cycle by cycle. All signal and array values live in the kernel's
+// flat slabs (see the package comment).
 type Kernel struct {
+	regCur  []uint64 // committed values of clocked signals
+	regNxt  []uint64 // pending values of clocked signals
+	wireCur []uint64 // committed values of wires
+	wireNxt []uint64 // pending values of wires (API fidelity only)
+	arr     []uint64 // contiguous backing of every memory array
+
 	signals []*Signal
 	arrays  []*MemArray
 	units   map[string]Unit // per signal/array name
@@ -137,11 +193,27 @@ type Kernel struct {
 	cycle   uint64
 
 	faults []Fault
+	fSigs  []*Signal   // signals with armed faults
+	fArrs  []*MemArray // arrays with armed faults
+	bSigs  []*Signal   // signals with armed bridges
+	dirty  bool        // any fault or bridge armed on the design
 }
 
 // NewKernel returns an empty design.
 func NewKernel() *Kernel {
 	return &Kernel{units: make(map[string]Unit)}
+}
+
+// repoint refreshes every signal handle's slab pointers (slab growth
+// during design construction may move the backing arrays).
+func (k *Kernel) repoint() {
+	for _, s := range k.signals {
+		if s.reg {
+			s.curp, s.nxtp = &k.regCur[s.idx], &k.regNxt[s.idx]
+		} else {
+			s.curp, s.nxtp = &k.wireCur[s.idx], &k.wireNxt[s.idx]
+		}
+	}
 }
 
 func (k *Kernel) addSignal(name string, width int, unit Unit, reg bool) *Signal {
@@ -151,14 +223,34 @@ func (k *Kernel) addSignal(name string, width int, unit Unit, reg bool) *Signal 
 	if _, dup := k.units[name]; dup {
 		panic(fmt.Sprintf("rtl: duplicate name %s", name))
 	}
-	s := &Signal{name: name, width: width, reg: reg}
+	s := &Signal{k: k, name: name, width: width, reg: reg}
 	if width == 64 {
 		s.mask = ^uint64(0)
 	} else {
 		s.mask = 1<<width - 1
 	}
+	var grew bool
+	if reg {
+		s.idx = int32(len(k.regCur))
+		grew = cap(k.regCur) == len(k.regCur)
+		k.regCur = append(k.regCur, 0)
+		k.regNxt = append(k.regNxt, 0)
+	} else {
+		s.idx = int32(len(k.wireCur))
+		grew = cap(k.wireCur) == len(k.wireCur)
+		k.wireCur = append(k.wireCur, 0)
+		k.wireNxt = append(k.wireNxt, 0)
+	}
 	k.signals = append(k.signals, s)
 	k.units[name] = unit
+	if grew {
+		// The append moved the slab backing; refresh every handle.
+		k.repoint()
+	} else if reg {
+		s.curp, s.nxtp = &k.regCur[s.idx], &k.regNxt[s.idx]
+	} else {
+		s.curp, s.nxtp = &k.wireCur[s.idx], &k.wireNxt[s.idx]
+	}
 	return s
 }
 
@@ -180,13 +272,22 @@ func (k *Kernel) Array(name string, width, n int, unit Unit) *MemArray {
 	if _, dup := k.units[name]; dup {
 		panic(fmt.Sprintf("rtl: duplicate name %s", name))
 	}
-	a := &MemArray{name: name, width: width, data: make([]uint64, n), fWord: -1}
+	off := len(k.arr)
+	k.arr = append(k.arr, make([]uint64, n)...)
+	a := &MemArray{off: off, name: name, width: width, fWord: -1}
 	if width == 64 {
 		a.mask = ^uint64(0)
 	} else {
 		a.mask = 1<<width - 1
 	}
+	a.data = k.arr[off : off+n : off+n]
 	k.arrays = append(k.arrays, a)
+	// Growing the slab may have moved its backing; re-point the existing
+	// arrays' views (their slice lengths are unaffected by the move).
+	for _, ar := range k.arrays[:len(k.arrays)-1] {
+		sz := len(ar.data)
+		ar.data = k.arr[ar.off : ar.off+sz : ar.off+sz]
+	}
 	k.units[name] = unit
 	return a
 }
@@ -195,21 +296,65 @@ func (k *Kernel) Array(name string, width, n int, unit Unit) *MemArray {
 // order each cycle, so producers must be registered before consumers.
 func (k *Kernel) Comb(p func()) { k.procs = append(k.procs, p) }
 
-// Cycle evaluates all combinational processes once and commits registers.
+// Group is a precomputed set of registers that stall together. Holding a
+// group re-schedules every member's committed value with one tight loop
+// over slab indices, replacing a per-signal virtual dispatch on the
+// pipeline-stall hot path.
+type Group struct {
+	k    *Kernel
+	idxs []int32
+}
+
+// Group precomputes a hold group over the given clocked signals.
+func (k *Kernel) Group(sigs ...*Signal) Group {
+	g := Group{k: k, idxs: make([]int32, len(sigs))}
+	for i, s := range sigs {
+		if s.k != k {
+			panic("rtl: group signal from another kernel")
+		}
+		if !s.reg {
+			panic(fmt.Sprintf("rtl: group signal %s is not clocked", s.name))
+		}
+		g.idxs[i] = s.idx
+	}
+	return g
+}
+
+// Hold stalls every signal in the group (nxt = cur).
+func (g Group) Hold() {
+	cur, nxt := g.k.regCur, g.k.regNxt
+	for _, i := range g.idxs {
+		nxt[i] = cur[i]
+	}
+}
+
+// Cycle evaluates all combinational processes once and commits every
+// register with one bulk copy of the register slab.
 func (k *Kernel) Cycle() {
 	for _, p := range k.procs {
 		p()
 	}
-	for _, s := range k.signals {
-		if s.reg {
-			s.cur = s.nxt
-		}
-	}
+	copy(k.regCur, k.regNxt)
 	k.cycle++
 }
 
 // Now returns the number of elapsed cycles.
 func (k *Kernel) Now() uint64 { return k.cycle }
+
+// ResetState returns every signal, array and the cycle counter to the
+// all-zero power-on state and clears any armed faults and bridges. The
+// design structure (signals, arrays, processes) is untouched, so a kernel
+// can be reset in place and re-run instead of being rebuilt.
+func (k *Kernel) ResetState() {
+	k.ClearFaults()
+	k.ClearBridges()
+	clear(k.regCur)
+	clear(k.regNxt)
+	clear(k.wireCur)
+	clear(k.wireNxt)
+	clear(k.arr)
+	k.cycle = 0
+}
 
 // UnitOf returns the functional unit a signal or array name was declared
 // under.

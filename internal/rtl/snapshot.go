@@ -4,15 +4,20 @@ import "fmt"
 
 // Snapshot captures the full dynamic state of a kernel at a cycle
 // boundary: the committed and pending value of every signal, the contents
-// of every memory array, and the cycle counter. Fault forcing (stuck-at
-// masks, bridges) is deliberately not part of a snapshot: checkpoints are
-// taken on clean golden runs and restored into clean kernels, so a
-// restored design always starts fault-free.
+// of every memory array, and the cycle counter. Because the kernel keeps
+// all of that state in flat slabs, a snapshot is a handful of bulk slice
+// copies rather than a per-signal walk. Fault forcing (stuck-at masks,
+// bridges) is deliberately not part of a snapshot: checkpoints are taken
+// on clean golden runs and restored into clean kernels, so a restored
+// design always starts fault-free.
 type Snapshot struct {
-	cycle  uint64
-	sigCur []uint64
-	sigNxt []uint64
-	arrays [][]uint64
+	cycle   uint64
+	regCur  []uint64
+	regNxt  []uint64
+	wireCur []uint64
+	wireNxt []uint64
+	arr     []uint64
+	narr    int // array count, for the shape check
 }
 
 // Cycle returns the cycle count at which the snapshot was taken.
@@ -21,47 +26,39 @@ func (s *Snapshot) Cycle() uint64 { return s.cycle }
 // Snapshot captures the kernel's dynamic state. The snapshot is a deep
 // copy; the kernel may keep running without disturbing it.
 func (k *Kernel) Snapshot() *Snapshot {
-	s := &Snapshot{
-		cycle:  k.cycle,
-		sigCur: make([]uint64, len(k.signals)),
-		sigNxt: make([]uint64, len(k.signals)),
-		arrays: make([][]uint64, len(k.arrays)),
+	return &Snapshot{
+		cycle:   k.cycle,
+		regCur:  append([]uint64(nil), k.regCur...),
+		regNxt:  append([]uint64(nil), k.regNxt...),
+		wireCur: append([]uint64(nil), k.wireCur...),
+		wireNxt: append([]uint64(nil), k.wireNxt...),
+		arr:     append([]uint64(nil), k.arr...),
+		narr:    len(k.arrays),
 	}
-	for i, sig := range k.signals {
-		s.sigCur[i] = sig.cur
-		s.sigNxt[i] = sig.nxt
-	}
-	for i, a := range k.arrays {
-		s.arrays[i] = append([]uint64(nil), a.data...)
-	}
-	return s
 }
 
 // Restore loads a snapshot into the kernel, which must have an identical
 // structure (same signals and arrays in the same declaration order — in
 // practice a kernel built by the same constructor as the snapshotted one).
 // Any armed faults or bridges on the kernel are cleared so the restored
-// design matches the clean snapshotted state exactly.
+// design matches the clean snapshotted state exactly. Restore is the
+// campaign engine's per-experiment reset of a pooled core, so it is
+// deliberately cheap: clearing is O(armed faults) and the state reload is
+// a handful of bulk copies.
 func (k *Kernel) Restore(s *Snapshot) error {
-	if len(s.sigCur) != len(k.signals) || len(s.arrays) != len(k.arrays) {
-		return fmt.Errorf("rtl: snapshot shape (%d signals, %d arrays) does not match kernel (%d signals, %d arrays)",
-			len(s.sigCur), len(s.arrays), len(k.signals), len(k.arrays))
-	}
-	for i, a := range k.arrays {
-		if len(s.arrays[i]) != len(a.data) {
-			return fmt.Errorf("rtl: snapshot array %s has %d words, kernel has %d",
-				a.name, len(s.arrays[i]), len(a.data))
-		}
+	if len(s.regCur) != len(k.regCur) || len(s.wireCur) != len(k.wireCur) ||
+		len(s.arr) != len(k.arr) || s.narr != len(k.arrays) {
+		return fmt.Errorf("rtl: snapshot shape (%d regs, %d wires, %d arrays, %d array words) does not match kernel (%d regs, %d wires, %d arrays, %d array words)",
+			len(s.regCur), len(s.wireCur), s.narr, len(s.arr),
+			len(k.regCur), len(k.wireCur), len(k.arrays), len(k.arr))
 	}
 	k.ClearFaults()
 	k.ClearBridges()
-	for i, sig := range k.signals {
-		sig.cur = s.sigCur[i]
-		sig.nxt = s.sigNxt[i]
-	}
-	for i, a := range k.arrays {
-		copy(a.data, s.arrays[i])
-	}
+	copy(k.regCur, s.regCur)
+	copy(k.regNxt, s.regNxt)
+	copy(k.wireCur, s.wireCur)
+	copy(k.wireNxt, s.wireNxt)
+	copy(k.arr, s.arr)
 	k.cycle = s.cycle
 	return nil
 }

@@ -73,7 +73,7 @@ func TestRestoreClearsFaults(t *testing.T) {
 	if len(k.Faults()) != 0 {
 		t.Error("restore kept armed faults")
 	}
-	r.cur = 0
+	*r.curp = 0
 	if r.Get() != 0 {
 		t.Error("restore kept fault forcing")
 	}
