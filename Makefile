@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-json bench-json-smoke vet fmt-check lint
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke serve-smoke vet fmt-check lint
 
 all: build test
 
@@ -30,6 +30,13 @@ bench-json:
 # the whole suite and the benchjson pipeline without committing numbers.
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out -
+
+# Hermetic service smoke: builds faultserverd and faultcampaign, boots
+# the daemon on an ephemeral port, submits one small campaign over HTTP
+# twice, and asserts one engine execution plus byte-identical results
+# between the server and `faultcampaign -json`.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
 
 vet:
 	$(GO) vet ./...

@@ -50,6 +50,13 @@ func main() {
 	}
 
 	rec := parse(buf.String())
+	if len(rec.Benchmarks) == 0 {
+		// An empty record means the regexp matched nothing or the bench
+		// output format drifted; exiting 0 would let CI validate nothing
+		// and a baseline refresh overwrite the committed record with {}.
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines parsed from go %s\n", strings.Join(args, " "))
+		os.Exit(1)
+	}
 	rec.Command = "go " + strings.Join(args, " ")
 	rec.Go = runtime.Version()
 	blob, err := json.MarshalIndent(rec, "", "  ")

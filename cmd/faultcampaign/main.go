@@ -5,18 +5,26 @@
 // Usage:
 //
 //	faultcampaign -w ttsprk -target iu -model sa1 -nodes 256 -seed 1
+//
+// With -json the campaign is executed through the same canonical path the
+// campaign job server uses and the result is emitted in the service's
+// deterministic encoding, so CLI output and `faultserverd` responses are
+// byte-for-byte diffable for the same spec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/core"
 	"repro/internal/fault"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sparc"
 )
@@ -36,8 +44,46 @@ func main() {
 		inject  = flag.Uint64("inject-at", 0, "injection instant (cycle)")
 		injfrac = flag.Float64("inject-frac", 0, "injection instant as a fraction of the golden run (overrides -inject-at)")
 		noCkpt  = flag.Bool("no-checkpoint", false, "re-simulate each experiment from reset instead of forking the golden-run checkpoint")
+		asJSON  = flag.Bool("json", false, "emit the campaign job service's canonical result JSON")
 	)
 	flag.Parse()
+
+	if *asJSON {
+		// The -iters flag defaults to 2 for the human-readable campaign,
+		// but an HTTP submission that omits "iterations" means 0
+		// (workload default). For byte-parity with the server, -json maps
+		// an unset flag to 0 too; an explicit -iters still wins.
+		jsonIters := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "iters" {
+				jsonIters = *iters
+			}
+		})
+		req := jobs.Request{
+			Workload:         *name,
+			Iterations:       jsonIters,
+			Dataset:          *dataset,
+			Target:           *target,
+			Nodes:            *nodes,
+			Seed:             *seed,
+			InjectAtCycle:    *inject,
+			InjectAtFraction: *injfrac,
+			NoCheckpoint:     *noCkpt,
+		}
+		if *model != "all" {
+			// Unknown names are rejected by the request normalization
+			// inside Execute, keeping one canonical model list.
+			req.Models = []string{*model}
+		}
+		out, err := jobs.Execute(context.Background(), req, *workers, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := jobs.EncodeOutcome(os.Stdout, out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	spec := core.CampaignSpec{
 		Nodes:            *nodes,
@@ -84,7 +130,8 @@ func main() {
 		engine = "golden-run forking (warm-up prefix simulated once)"
 	}
 	fmt.Printf("engine:     %s, golden run %d cycles\n", engine, res.GoldenCycles)
-	fmt.Printf("Pf:         %s of faults propagated to failures\n", report.Percent(res.Pf))
+	fmt.Printf("Pf:         %s of faults propagated to failures (95%% CI %s..%s, Wilson)\n",
+		report.Percent(res.Pf), report.Percent(res.PfLow), report.Percent(res.PfHigh))
 	if res.MaxLatencyCycles >= 0 {
 		fmt.Printf("latency:    max detection latency %d cycles\n", res.MaxLatencyCycles)
 	}

@@ -1,0 +1,87 @@
+// Command faultserverd is the fault-campaign job server: a long-running
+// HTTP daemon that schedules RTL fault-injection campaigns on a bounded
+// worker pool, coalesces duplicate submissions, serves repeated requests
+// from a content-addressed result cache, and streams live campaign
+// progress (experiment counts, progressive Pf with Wilson confidence
+// intervals) as NDJSON.
+//
+// Usage:
+//
+//	faultserverd -addr :8080 -jobs 2 -campaign-workers 0
+//
+// The listening address is printed to stdout once the socket is bound
+// (useful with -addr 127.0.0.1:0 in scripts). See internal/server for the
+// API surface and README "Running as a service" for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultserverd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		njobs   = flag.Int("jobs", 2, "campaigns executed concurrently")
+		queue   = flag.Int("queue", 64, "max queued campaigns")
+		workers = flag.Int("campaign-workers", 0, "experiment workers per campaign (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	mgr := jobs.NewManager(jobs.ManagerOptions{
+		Concurrency:     *njobs,
+		QueueDepth:      *queue,
+		CampaignWorkers: *workers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faultserverd: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{
+		Handler: server.New(mgr).Handler(),
+		// No WriteTimeout: the NDJSON stream endpoint is legitimately
+		// long-lived. Reads (headers and bodies — a campaign request is
+		// tiny) and idle keep-alives are bounded so stalled clients
+		// cannot pin connections.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		// Close the manager first: in-flight jobs cancel within one
+		// experiment granule, watchers get their terminal snapshots and
+		// the stream handlers return, so the connections Shutdown waits
+		// on actually go idle.
+		mgr.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+}

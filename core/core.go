@@ -11,9 +11,13 @@
 //     on all signals of its integer unit (IU) and cache memory (CMEM),
 //   - the EEMBC-Autobench-workalike workload suite of the paper,
 //   - the instruction-diversity metric and the Equation-(1) failure
-//     probability model, and
+//     probability model,
 //   - campaign orchestration reproducing every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation, and
+//   - an async campaign job service (NewJobService: SubmitCampaign /
+//     JobStatus / WatchProgress) with duplicate coalescing, a
+//     content-addressed result cache and per-granule cancellation — the
+//     same scheduler cmd/faultserverd serves over HTTP/NDJSON.
 //
 // # Checkpointed campaign engine
 //
@@ -52,6 +56,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rtl"
 	"repro/internal/sparc"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -163,6 +168,10 @@ type CampaignResult struct {
 	// Pf is the fraction of faults that propagated to failures at the
 	// off-core boundary.
 	Pf float64
+	// PfLow and PfHigh bound Pf with the 95% Wilson score confidence
+	// interval: campaigns are statistical fault injection, so the point
+	// estimate carries sampling uncertainty.
+	PfLow, PfHigh float64
 	// PfByUnit groups Pf by functional unit (for Equation 1).
 	PfByUnit map[Unit]float64
 	// MaxLatencyCycles is the largest bounded detection latency.
@@ -198,8 +207,11 @@ func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
 		models = rtl.FaultModels()
 	}
 	results := r.Campaign(fault.Expand(nodes, models...), spec.Workers)
+	lo, hi := fault.PfInterval(results, stats.Z95)
 	return &CampaignResult{
 		Pf:               fault.Pf(results),
+		PfLow:            lo,
+		PfHigh:           hi,
 		PfByUnit:         fault.PfByUnit(results),
 		MaxLatencyCycles: fault.MaxLatency(results),
 		Results:          results,

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/jobs"
+)
+
+// Async campaign job API. JobService wraps the campaign job scheduler of
+// internal/jobs — the same engine cmd/faultserverd serves over HTTP — so
+// embedders get an identical surface: submissions are deduplicated
+// through a content-addressed result cache (a resubmitted spec coalesces
+// onto the in-flight job or returns the cached outcome without running
+// the engine), campaigns execute on a bounded worker pool, cancellation
+// takes effect within one experiment granule, and watchers stream
+// incremental progress with progressive Pf and Wilson confidence
+// intervals.
+type (
+	// CampaignRequest describes one campaign to the job service; its
+	// canonical hash is the job's content address.
+	CampaignRequest = jobs.Request
+	// CampaignJob is a job status snapshot.
+	CampaignJob = jobs.Status
+	// CampaignProgress is one incremental progress snapshot.
+	CampaignProgress = jobs.Progress
+	// CampaignOutcome is the deterministic result encoding shared with
+	// the HTTP API and `faultcampaign -json`.
+	CampaignOutcome = jobs.Outcome
+	// JobServiceOptions sizes the scheduler.
+	JobServiceOptions = jobs.ManagerOptions
+	// JobState is a job's lifecycle phase.
+	JobState = jobs.State
+)
+
+// JobService is an in-process campaign job scheduler.
+type JobService struct {
+	m *jobs.Manager
+}
+
+// NewJobService starts a job service with its worker pool running. Close
+// it when done.
+func NewJobService(opts JobServiceOptions) *JobService {
+	return &JobService{m: jobs.NewManager(opts)}
+}
+
+// SubmitCampaign submits a campaign asynchronously. A request matching an
+// in-flight job coalesces onto it and one matching a completed outcome is
+// answered from the result cache; fresh reports whether a new job was
+// created (and hence the engine will run).
+func (s *JobService) SubmitCampaign(req CampaignRequest) (st CampaignJob, fresh bool, err error) {
+	return s.m.Submit(req)
+}
+
+// JobStatus returns a job's current status, including its result once
+// done.
+func (s *JobService) JobStatus(id string) (CampaignJob, error) { return s.m.Get(id) }
+
+// Jobs lists every job in submission order.
+func (s *JobService) Jobs() []CampaignJob { return s.m.List() }
+
+// WatchProgress subscribes to a job's progress snapshots. The channel
+// closes after the terminal snapshot; call unsub to detach early.
+func (s *JobService) WatchProgress(id string) (ch <-chan CampaignProgress, unsub func(), err error) {
+	return s.m.Watch(id)
+}
+
+// CancelJob cancels a queued or running job and returns its status as of
+// the cancellation; the engine stops within one experiment granule.
+func (s *JobService) CancelJob(id string) (CampaignJob, error) { return s.m.Cancel(id) }
+
+// WaitJob blocks until the job is terminal (or ctx expires) and returns
+// its final status.
+func (s *JobService) WaitJob(ctx context.Context, id string) (CampaignJob, error) {
+	return s.m.Wait(ctx, id)
+}
+
+// Close cancels in-flight jobs and stops the worker pool.
+func (s *JobService) Close() { s.m.Close() }
+
+// ExecuteCampaign runs one campaign request synchronously on the shared
+// memoized runner cache and returns its canonical outcome — the
+// synchronous twin of SubmitCampaign and the exact path behind
+// `faultcampaign -json`.
+func ExecuteCampaign(ctx context.Context, req CampaignRequest, workers int) (*CampaignOutcome, error) {
+	return jobs.Execute(ctx, req, workers, nil)
+}

@@ -19,4 +19,14 @@
 // bit-identical either way (see internal/fault's TestCheckpointFidelity).
 // Disable the engine with fault.Options.NoCheckpoint or
 // core.CampaignSpec.NoCheckpoint when debugging.
+//
+// Campaigns can also be served instead of batch-run: cmd/faultserverd is
+// a long-running HTTP/NDJSON job server (internal/jobs, internal/server)
+// that schedules campaigns on a bounded worker pool, coalesces duplicate
+// submissions, answers repeated specs from a content-addressed result
+// cache, streams progressive Pf with Wilson confidence intervals, and
+// cancels in-flight campaigns within one experiment granule. The same
+// scheduler is available in-process through core.NewJobService, and
+// `faultcampaign -json` emits the service's canonical result encoding so
+// CLI and server outputs are byte-for-byte diffable (DESIGN.md §7).
 package repro

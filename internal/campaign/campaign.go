@@ -5,7 +5,9 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -41,6 +43,17 @@ type Options struct {
 	// (the paper's original cost model; useful only for debugging or for
 	// measuring the engine's speedup).
 	NoCheckpoint bool
+	// Context, when non-nil, bounds every campaign the experiment
+	// functions run: cancellation stops the worker loops within one
+	// experiment granule and the experiment function returns ctx.Err().
+	Context context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) nodes() int {
@@ -63,13 +76,13 @@ func (o Options) iters() int {
 const injectFraction = 0.05
 
 // runnerKey identifies a memoized fault runner: the workload, its
-// configuration and the runner options that shape golden run and
-// checkpoint. Campaign options that only affect sampling (Nodes, Seed,
-// Workers) deliberately do not participate.
+// configuration and the full runner options that shape golden run,
+// checkpoint and engine behaviour. Campaign options that only affect
+// sampling (Nodes, Seed, Workers) deliberately do not participate.
 type runnerKey struct {
-	name         string
-	cfg          workloads.Config
-	noCheckpoint bool
+	name string
+	cfg  workloads.Config
+	opts fault.Options
 }
 
 // runnerCache memoizes fault runners process-wide, so the golden run and
@@ -77,11 +90,28 @@ type runnerKey struct {
 // shared across Figure3/4/5/6/7 and Eq1 — Figure 7 alone used to rebuild
 // the same six runners Figure 5 had already built. Runners are safe for
 // concurrent campaigns, so sharing one across experiment functions is
-// sound; entries live for the process lifetime (a dozen small cores).
+// sound; the cache holds at most maxRunners entries, evicted
+// oldest-first (the experiment functions need only a dozen).
 var runnerCache struct {
-	mu sync.Mutex
-	m  map[runnerKey]*runnerEntry
+	mu    sync.Mutex
+	m     map[runnerKey]*runnerEntry
+	order []runnerKey // recency order, oldest first, for LRU eviction
 }
+
+// maxRunners bounds the memoized runner cache. The experiment functions
+// only ever need a dozen entries, but the campaign job service keys this
+// cache from client-supplied requests, so an unbounded map would let a
+// request stream with ever-new injection instants pin one golden run +
+// checkpoint each until the daemon dies. Eviction is least-recently-used
+// and only drops the memoization: runners still referenced by in-flight
+// campaigns stay alive until those campaigns finish.
+const maxRunners = 64
+
+// buildSem bounds concurrent golden-run constructions: each is a full
+// RTL simulation of a workload's fault-free run, so an unbounded number
+// of them (e.g. a burst of distinct job-service requests) would swamp
+// the cores the campaigns themselves need. Cache hits never touch it.
+var buildSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 type runnerEntry struct {
 	once sync.Once
@@ -89,32 +119,61 @@ type runnerEntry struct {
 	err  error
 }
 
-// runnerFor returns the memoized fault runner for a workload
-// configuration, building it (golden run included) on first use.
-func runnerFor(o Options, name string, cfg workloads.Config) (*fault.Runner, error) {
-	key := runnerKey{name: name, cfg: cfg, noCheckpoint: o.NoCheckpoint}
+// RunnerFor returns the process-wide memoized fault runner for a
+// (workload, config, runner options) triple, building it — golden run
+// included — on first use. Runners are safe for concurrent campaigns, so
+// callers (the experiment functions here, and the campaign job service in
+// internal/jobs) share one runner per triple: the golden run and its
+// checkpoint are simulated once and reused until the entry ages out of
+// the bounded cache.
+func RunnerFor(name string, cfg workloads.Config, fopts fault.Options) (*fault.Runner, error) {
+	key := runnerKey{name: name, cfg: cfg, opts: fopts}
 	runnerCache.mu.Lock()
 	if runnerCache.m == nil {
 		runnerCache.m = make(map[runnerKey]*runnerEntry)
 	}
 	e := runnerCache.m[key]
 	if e == nil {
+		for len(runnerCache.m) >= maxRunners {
+			delete(runnerCache.m, runnerCache.order[0])
+			runnerCache.order = runnerCache.order[1:]
+		}
 		e = &runnerEntry{}
 		runnerCache.m[key] = e
+		runnerCache.order = append(runnerCache.order, key)
+	} else {
+		// LRU touch: move the key to the back so the hottest runners are
+		// the last to be evicted.
+		for i, k := range runnerCache.order {
+			if k == key {
+				copy(runnerCache.order[i:], runnerCache.order[i+1:])
+				runnerCache.order[len(runnerCache.order)-1] = key
+				break
+			}
+		}
 	}
 	runnerCache.mu.Unlock()
 	e.once.Do(func() {
+		buildSem <- struct{}{}
+		defer func() { <-buildSem }()
 		w, err := workloads.Build(name, cfg)
 		if err != nil {
 			e.err = err
 			return
 		}
-		e.r, e.err = fault.NewRunner(w.Program, fault.Options{
-			InjectAtFraction: injectFraction,
-			NoCheckpoint:     o.NoCheckpoint,
-		})
+		e.r, e.err = fault.NewRunner(w.Program, fopts)
 	})
 	return e.r, e.err
+}
+
+// runnerFor is the experiment functions' view of RunnerFor: every figure
+// uses the same fixed injection fraction, so runners are shared across
+// Figures 3-7 and Eq1.
+func runnerFor(o Options, name string, cfg workloads.Config) (*fault.Runner, error) {
+	return RunnerFor(name, cfg, fault.Options{
+		InjectAtFraction: injectFraction,
+		NoCheckpoint:     o.NoCheckpoint,
+	})
 }
 
 // pfOf runs one (workload, target, model) campaign and returns Pf plus the
@@ -125,7 +184,10 @@ func pfOf(o Options, name string, cfg workloads.Config, target fault.Target, mod
 		return 0, nil, err
 	}
 	nodes := fault.SampleNodes(r.Nodes(target), o.nodes(), o.Seed)
-	results := r.Campaign(fault.Expand(nodes, model), o.Workers)
+	results, err := r.CampaignContext(o.ctx(), fault.Expand(nodes, model), o.Workers, nil)
+	if err != nil {
+		return 0, nil, err
+	}
 	return fault.Pf(results), results, nil
 }
 
@@ -283,7 +345,10 @@ func Figure4(o Options) (*Fig4Result, error) {
 			return nil, err
 		}
 		nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
-		results := r.Campaign(fault.Expand(nodes, rtl.StuckAt1), o.Workers)
+		results, err := r.CampaignContext(o.ctx(), fault.Expand(nodes, rtl.StuckAt1), o.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
 		lat := fault.MaxLatency(results)
 		out.Points = append(out.Points, Fig4Point{
 			Iterations:   iters,
@@ -554,7 +619,9 @@ func checkpointSpeedup(o Options, w *workloads.Workload) (ckSec, resetSec float6
 		exps := fault.Expand(fault.SampleNodes(r.Nodes(fault.TargetIU), sample, o.Seed), rtl.StuckAt1)
 		r.PrepareCheckpoint() // capture outside the timed region
 		t0 := time.Now()
-		r.Campaign(exps, o.Workers)
+		if _, err := r.CampaignContext(o.ctx(), exps, o.Workers, nil); err != nil {
+			return 0, 0, err
+		}
 		if noCkpt {
 			resetSec = time.Since(t0).Seconds()
 		} else {

@@ -73,7 +73,10 @@ func Eq1(o Options) (*Eq1Result, error) {
 			}
 			weights = diversity.AreaWeights(counts)
 		}
-		results := r.Campaign(fault.Expand(nodes, rtl.StuckAt1), o.Workers)
+		results, err := r.CampaignContext(o.ctx(), fault.Expand(nodes, rtl.StuckAt1), o.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
 		all = append(all, benchData{
 			name:     name,
 			prof:     prof,

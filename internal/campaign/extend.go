@@ -38,13 +38,19 @@ func ExtTransient(o Options, benchmark string) (*TransientResult, error) {
 	nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
 
 	out := &TransientResult{Benchmark: benchmark}
-	perm := r.Campaign(fault.Expand(nodes, 1 /* StuckAt1 */), o.Workers)
+	perm, err := r.CampaignContext(o.ctx(), fault.Expand(nodes, 1 /* StuckAt1 */), o.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
 	out.PermanentPf = fault.Pf(perm)
 
 	// Five instants spread across the golden run.
 	for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
 		at := uint64(frac * float64(r.GoldenCycles))
-		results := r.TransientCampaign(nodes, []uint64{at}, o.Workers)
+		results, err := r.TransientCampaignContext(o.ctx(), nodes, []uint64{at}, o.Workers)
+		if err != nil {
+			return nil, err
+		}
 		out.Points = append(out.Points, TransientPoint{AtCycle: at, Pf: fault.Pf(results)})
 	}
 	return out, nil

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/workloads"
+)
+
+// TestCampaignContextCancel pins the cancellation contract: cancelling
+// mid-campaign stops the worker loops within one experiment granule —
+// already-completed experiments keep their results, the remainder never
+// run — and the partial results come back with ctx.Err().
+func TestCampaignContextCancel(t *testing.T) {
+	w, err := workloads.Build("excerptA", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := Expand(r.Nodes(TargetIU), rtl.FaultModels()...)
+	if len(exps) < 32 {
+		t.Fatalf("want a large experiment set, got %d", len(exps))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	results, err := r.CampaignContext(ctx, exps, 2, func(i int, res Result) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(exps) {
+		t.Fatalf("results length %d != %d", len(results), len(exps))
+	}
+	completed := int(ran.Load())
+	if completed >= len(exps) {
+		t.Fatalf("campaign ran to completion (%d experiments) despite cancellation", completed)
+	}
+	// Workers finish at most the experiment they were on: with 2 workers
+	// and cancellation after the 3rd completion, only a handful complete.
+	if completed > 8 {
+		t.Errorf("%d experiments completed after cancel; want within one granule per worker", completed)
+	}
+}
+
+// TestCampaignContextComplete checks the ctx path is a no-op for
+// uncancelled campaigns: identical results to Campaign, nil error, and
+// the tap sees every experiment exactly once.
+func TestCampaignContextComplete(t *testing.T) {
+	w, err := workloads.Build("excerptA", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := Expand(SampleNodes(r.Nodes(TargetIU), 6, 3), rtl.StuckAt1)
+	var taps atomic.Int64
+	got, err := r.CampaignContext(context.Background(), exps, 3, func(i int, res Result) {
+		taps.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(taps.Load()) != len(exps) {
+		t.Errorf("tap saw %d completions, want %d", taps.Load(), len(exps))
+	}
+	want := r.Campaign(exps, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiment %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPfInterval(t *testing.T) {
+	results := []Result{
+		{Outcome: OutcomeMismatch},
+		{Outcome: OutcomeNoEffect},
+		{Outcome: OutcomeNoEffect},
+		{Outcome: OutcomeHang},
+	}
+	if n := Failures(results); n != 2 {
+		t.Fatalf("Failures = %d, want 2", n)
+	}
+	lo, hi := PfInterval(results, 1.96)
+	if !(lo > 0.09 && lo < 0.2) || !(hi > 0.8 && hi < 0.91) {
+		t.Errorf("PfInterval = [%v, %v], want roughly [0.15, 0.85]", lo, hi)
+	}
+	if lo, hi := PfInterval(nil, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+}

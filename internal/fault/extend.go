@@ -1,7 +1,7 @@
 package fault
 
 import (
-	"sync"
+	"context"
 
 	"repro/internal/iss"
 	"repro/internal/rtl"
@@ -47,6 +47,17 @@ func (r *Runner) RunTransient(e TransientExperiment) Result {
 // experiments in parallel, returning results in input order (nodes major,
 // instants minor).
 func (r *Runner) TransientCampaign(nodes []NodeInfo, atCycles []uint64, workers int) []Result {
+	results, _ := r.TransientCampaignContext(context.Background(), nodes, atCycles, workers)
+	return results
+}
+
+// TransientCampaignContext is TransientCampaign under a context, with the
+// same cancellation semantics as CampaignContext: workers stop within one
+// experiment granule and the partial results return with ctx.Err().
+func (r *Runner) TransientCampaignContext(ctx context.Context, nodes []NodeInfo, atCycles []uint64, workers int) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	exps := make([]TransientExperiment, 0, len(nodes)*len(atCycles))
 	for _, n := range nodes {
 		for _, c := range atCycles {
@@ -57,23 +68,10 @@ func (r *Runner) TransientCampaign(nodes []NodeInfo, atCycles []uint64, workers 
 		workers = 8
 	}
 	results := make([]Result, len(exps))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = r.RunTransient(exps[i])
-			}
-		}()
-	}
-	for i := range exps {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return results
+	err := runIndexed(ctx, len(exps), workers, func(i int) {
+		results[i] = r.RunTransient(exps[i])
+	})
+	return results, err
 }
 
 // BridgeExperiment shorts two nodes for the whole run.

@@ -12,7 +12,9 @@
 package fault
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rtl"
 	"repro/internal/sparc"
+	"repro/internal/stats"
 )
 
 // Target selects the microcontroller unit whose nodes are injected.
@@ -183,7 +186,8 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 	if opts.ExtraCycles == 0 {
 		opts.ExtraCycles = 10000
 	}
-	if opts.InjectAtFraction < 0 || opts.InjectAtFraction >= 1 {
+	if math.IsNaN(opts.InjectAtFraction) || math.IsInf(opts.InjectAtFraction, 0) ||
+		opts.InjectAtFraction < 0 || opts.InjectAtFraction >= 1 {
 		return nil, fmt.Errorf("fault: InjectAtFraction %v outside [0,1)", opts.InjectAtFraction)
 	}
 	m := mem.NewMemory()
@@ -403,10 +407,43 @@ func (r *Runner) RunOne(e Experiment) Result {
 // Campaign runs the experiments across workers and returns results in
 // input order.
 func (r *Runner) Campaign(exps []Experiment, workers int) []Result {
+	results, _ := r.CampaignContext(context.Background(), exps, workers, nil)
+	return results
+}
+
+// CampaignContext runs the experiments across workers, honouring ctx:
+// cancellation stops the campaign within one experiment granule (workers
+// finish the experiment they are on, skip the rest, and the dispatcher
+// stops feeding). Results are in input order; experiments that never ran
+// are left zero-valued. On cancellation the partial results are returned
+// together with ctx.Err().
+//
+// tap, when non-nil, is invoked as each experiment completes with its
+// index and result. It is called concurrently from worker goroutines and
+// must be safe for concurrent use.
+func (r *Runner) CampaignContext(ctx context.Context, exps []Experiment, workers int, tap func(i int, res Result)) ([]Result, error) {
+	results := make([]Result, len(exps))
+	err := runIndexed(ctx, len(exps), workers, func(i int) {
+		results[i] = r.RunOne(exps[i])
+		if tap != nil {
+			tap(i, results[i])
+		}
+	})
+	return results, err
+}
+
+// runIndexed dispatches n experiment indices across workers under ctx —
+// the shared scaffolding of every campaign kind. Cancellation stops the
+// dispatch within one granule per worker: each worker finishes the index
+// it is on, the feeder stops, and ctx.Err() is returned.
+func runIndexed(ctx context.Context, n, workers int, run func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]Result, len(exps))
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -414,16 +451,26 @@ func (r *Runner) Campaign(exps []Experiment, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = r.RunOne(exps[i])
+				select {
+				case <-done:
+					return
+				default:
+				}
+				run(i)
 			}
 		}()
 	}
-	for i := range exps {
-		next <- i
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return results
+	return ctx.Err()
 }
 
 // Pf returns the fraction of experiments whose fault propagated to a
@@ -432,13 +479,27 @@ func Pf(results []Result) float64 {
 	if len(results) == 0 {
 		return 0
 	}
+	return float64(Failures(results)) / float64(len(results))
+}
+
+// Failures counts the experiments whose fault propagated to a failure.
+func Failures(results []Result) int {
 	n := 0
 	for _, r := range results {
 		if r.Outcome.IsFailure() {
 			n++
 		}
 	}
-	return float64(n) / float64(len(results))
+	return n
+}
+
+// PfInterval returns the Wilson score confidence interval around Pf at
+// confidence level z (1.96 for 95%): the range of true failure
+// probabilities compatible with the campaign's sample. Campaigns are
+// statistical fault injection (a node sample, not the exhaustive set), so
+// every reported Pf carries this sampling uncertainty.
+func PfInterval(results []Result, z float64) (lo, hi float64) {
+	return stats.WilsonCI(Failures(results), len(results), z)
 }
 
 // PfByUnit groups Pf by functional unit.

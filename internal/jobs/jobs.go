@@ -1,0 +1,387 @@
+// Package jobs is the campaign job service: a long-running scheduler that
+// accepts fault-injection campaign requests, deduplicates them through a
+// content-addressed result cache, runs them on a bounded worker pool with
+// cooperative cancellation, and streams incremental progress — experiment
+// counts and progressive Pf estimates with Wilson confidence intervals —
+// to any number of watchers.
+//
+// The package is the engine behind both the public async API in repro/core
+// (SubmitCampaign / JobStatus / WatchProgress) and the HTTP/NDJSON daemon
+// in cmd/faultserverd (via internal/server). Both surfaces share the same
+// Request and Outcome encodings, so a campaign submitted over HTTP is
+// byte-for-byte diffable against `faultcampaign -json` run with the same
+// spec.
+//
+// # Content addressing
+//
+// A request's identity is the SHA-256 of the canonical JSON encoding of
+// its normalized form (defaults applied, names validated; see
+// Request.Normalize). Scheduling knobs — how many workers execute the
+// campaign — are deliberately not part of the request, so two submissions
+// that describe the same experiment set hash identically no matter how
+// the service is configured. The manager uses the hash twice: an
+// in-flight submission with the same key coalesces onto the running job,
+// and a completed one is served straight from the result cache without
+// touching the engine.
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/rtl"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Request describes one fault-injection campaign. The zero value of every
+// optional field selects the engine default. Normalize canonicalizes the
+// named fields before hashing — a blank target and "iu", or an empty
+// model list and all three models spelled out, yield the same content
+// address — while numeric fields participate verbatim: 0 iterations
+// means "workload default" and hashes differently from the same count
+// written out, because the service cannot know a workload's default
+// without building it.
+type Request struct {
+	// Workload names a bundled benchmark (core.WorkloadNames).
+	Workload string `json:"workload"`
+	// Iterations is the kernel iteration count (0 = workload default).
+	Iterations int `json:"iterations,omitempty"`
+	// Dataset selects the input dataset.
+	Dataset int `json:"dataset,omitempty"`
+	// Target is the injected hierarchy: "iu" (default) or "cmem".
+	Target string `json:"target"`
+	// Models lists permanent fault models ("sa0", "sa1", "open");
+	// empty selects all three in the engine's canonical order.
+	Models []string `json:"models"`
+	// Nodes is the statistical node sample size; 0 injects every node.
+	Nodes int `json:"nodes,omitempty"`
+	// Seed makes node sampling reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// InjectAtCycle is the fixed injection instant.
+	InjectAtCycle uint64 `json:"inject_at_cycle,omitempty"`
+	// InjectAtFraction positions the injection instant at this fraction
+	// of the golden run (overrides InjectAtCycle when nonzero).
+	InjectAtFraction float64 `json:"inject_at_fraction,omitempty"`
+	// NoCheckpoint re-simulates every experiment from reset (engine
+	// debugging only; results are identical).
+	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
+}
+
+// MaxIterations bounds a request's kernel iteration count. The largest
+// workload default is 60 and Figure 4 tops out at 10; anything near this
+// limit would blow the engine's 200M-cycle golden-run budget anyway.
+const MaxIterations = 100_000
+
+// modelOrder maps wire names onto fault models, in canonical order.
+var modelOrder = []struct {
+	name  string
+	model rtl.FaultModel
+}{
+	{"sa0", rtl.StuckAt0},
+	{"sa1", rtl.StuckAt1},
+	{"open", rtl.OpenLine},
+}
+
+func parseModel(name string) (rtl.FaultModel, error) {
+	for _, m := range modelOrder {
+		if m.name == name {
+			return m.model, nil
+		}
+	}
+	return 0, fmt.Errorf("jobs: unknown fault model %q (want sa0, sa1 or open)", name)
+}
+
+// Normalize validates the request and returns its canonical form: target
+// and model names checked, an empty model list expanded to all models in
+// canonical order. The canonical form is what Key hashes, so requests
+// that differ only in how defaults are spelled are the same campaign.
+func (r Request) Normalize() (Request, error) {
+	if r.Workload == "" {
+		return r, fmt.Errorf("jobs: request missing workload")
+	}
+	// Reject unknown workloads up front: accepting them would hand out a
+	// job doomed to fail at execution, and every distinct bad name would
+	// burn a slot in the bounded runner cache.
+	known := false
+	for _, name := range workloads.Names() {
+		if name == r.Workload {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return r, fmt.Errorf("jobs: unknown workload %q", r.Workload)
+	}
+	switch r.Target {
+	case "", "iu":
+		r.Target = "iu"
+	case "cmem":
+	default:
+		return r, fmt.Errorf("jobs: unknown target %q (want iu or cmem)", r.Target)
+	}
+	if len(r.Models) == 0 {
+		names := make([]string, len(modelOrder))
+		for i, m := range modelOrder {
+			names[i] = m.name
+		}
+		r.Models = names
+	} else {
+		seen := map[string]bool{}
+		for _, name := range r.Models {
+			if _, err := parseModel(name); err != nil {
+				return r, err
+			}
+			if seen[name] {
+				return r, fmt.Errorf("jobs: duplicate fault model %q", name)
+			}
+			seen[name] = true
+		}
+	}
+	if r.Iterations < 0 || r.Dataset < 0 || r.Nodes < 0 {
+		return r, fmt.Errorf("jobs: negative iterations/dataset/nodes")
+	}
+	// Bound the request's golden-run cost at the validation boundary.
+	// (fault.NewRunner's 200M-cycle run budget is the hard stop — a
+	// too-long golden run fails the build — but rejecting absurd
+	// iteration counts up front avoids burning a build slot discovering
+	// that.)
+	if r.Iterations > MaxIterations {
+		return r, fmt.Errorf("jobs: iterations %d exceeds the limit %d", r.Iterations, MaxIterations)
+	}
+	// NaN passes both range comparisons and would poison the runner
+	// cache (NaN != NaN), so reject non-finite values explicitly.
+	if math.IsNaN(r.InjectAtFraction) || math.IsInf(r.InjectAtFraction, 0) ||
+		r.InjectAtFraction < 0 || r.InjectAtFraction >= 1 {
+		return r, fmt.Errorf("jobs: inject_at_fraction %v outside [0,1)", r.InjectAtFraction)
+	}
+	if r.InjectAtFraction > 0 {
+		// A nonzero fraction overrides the cycle instant in the engine,
+		// so a leftover cycle value must not fragment the cache key.
+		r.InjectAtCycle = 0
+	}
+	if r.Nodes == 0 {
+		// Exhaustive campaigns inject every node; the sampling seed is
+		// never consulted and must not fragment the cache key.
+		r.Seed = 0
+	}
+	return r, nil
+}
+
+// Key returns the request's content address: the SHA-256 hex digest of
+// the canonical JSON encoding of the normalized request. JSON struct
+// encoding has a fixed field order, so the digest is deterministic.
+func (r Request) Key() (string, error) {
+	n, err := r.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return keyOf(n)
+}
+
+// keyOf hashes an already-normalized request (Manager.Submit normalizes
+// once and keys from that form directly).
+func keyOf(n Request) (string, error) {
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func (r Request) target() fault.Target {
+	if r.Target == "cmem" {
+		return fault.TargetCMEM
+	}
+	return fault.TargetIU
+}
+
+// ExperimentOutcome is one experiment of an Outcome, in campaign order.
+type ExperimentOutcome struct {
+	Node    string `json:"node"`
+	Model   string `json:"model"`
+	Unit    string `json:"unit"`
+	Outcome string `json:"outcome"`
+	Latency int64  `json:"latency"`
+	Cycles  uint64 `json:"cycles"`
+}
+
+// Outcome is the deterministic result encoding shared by the job service,
+// the HTTP API and `faultcampaign -json`: no timing, no scheduling state,
+// only the campaign's content. Identical requests produce byte-identical
+// encodings.
+type Outcome struct {
+	Request          Request             `json:"request"`
+	Injections       int                 `json:"injections"`
+	GoldenCycles     uint64              `json:"golden_cycles"`
+	Checkpointed     bool                `json:"checkpointed"`
+	Pf               float64             `json:"pf"`
+	PfLow            float64             `json:"pf_low"`
+	PfHigh           float64             `json:"pf_high"`
+	Failures         int                 `json:"failures"`
+	MaxLatencyCycles int64               `json:"max_latency_cycles"`
+	Outcomes         map[string]int      `json:"outcomes"`
+	PfByUnit         map[string]float64  `json:"pf_by_unit"`
+	Experiments      []ExperimentOutcome `json:"experiments"`
+}
+
+// EncodeOutcome writes the canonical indented JSON encoding of an
+// outcome. The CLI's -json flag and the server's result endpoint both use
+// it, which is what makes their outputs diffable.
+func EncodeOutcome(w io.Writer, o *Outcome) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// outcomeFrom assembles the canonical encoding from raw campaign results.
+func outcomeFrom(req Request, r *fault.Runner, results []fault.Result) *Outcome {
+	lo, hi := fault.PfInterval(results, stats.Z95)
+	out := &Outcome{
+		Request:          req,
+		Injections:       len(results),
+		GoldenCycles:     r.GoldenCycles,
+		Checkpointed:     r.Checkpointed(),
+		Pf:               fault.Pf(results),
+		PfLow:            lo,
+		PfHigh:           hi,
+		Failures:         fault.Failures(results),
+		MaxLatencyCycles: fault.MaxLatency(results),
+		Outcomes:         map[string]int{},
+		PfByUnit:         map[string]float64{},
+		Experiments:      make([]ExperimentOutcome, len(results)),
+	}
+	for i, res := range results {
+		out.Outcomes[res.Outcome.String()]++
+		out.Experiments[i] = ExperimentOutcome{
+			Node:    res.Fault.Node.String(),
+			Model:   res.Fault.Model.String(),
+			Unit:    res.Unit.String(),
+			Outcome: res.Outcome.String(),
+			Latency: res.Latency,
+			Cycles:  res.Cycles,
+		}
+	}
+	for u, pf := range fault.PfByUnit(results) {
+		out.PfByUnit[u.String()] = pf
+	}
+	return out
+}
+
+// Progress is one incremental snapshot of a running campaign: how many
+// experiments have completed and the progressive Pf estimate with its
+// Wilson confidence interval over the completed prefix.
+type Progress struct {
+	JobID    string  `json:"job_id,omitempty"`
+	State    State   `json:"state"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Failures int     `json:"failures"`
+	Pf       float64 `json:"pf"`
+	PfLow    float64 `json:"pf_low"`
+	PfHigh   float64 `json:"pf_high"`
+}
+
+// Tap receives monotonic progress snapshots from a running campaign. It
+// is called serially.
+type Tap func(done, total, failures int)
+
+// runnerFor resolves the memoized fault runner for a normalized request
+// while honouring cancellation: the golden-run simulation inside
+// campaign.RunnerFor cannot be interrupted mid-flight, so on ctx expiry
+// the build is left to finish in the background — where it still
+// populates the process-wide cache for a later resubmission — and the
+// caller returns promptly with ctx.Err().
+func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
+	// A dead context must not kick off an orphan build: Manager.Close
+	// drains every still-queued job through here with the base context
+	// already cancelled.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type built struct {
+		r   *fault.Runner
+		err error
+	}
+	ch := make(chan built, 1)
+	go func() {
+		// A cancelled caller leaves this build running detached; that is
+		// safe because campaign.RunnerFor bounds concurrent golden-run
+		// constructions with its own semaphore, so a submit-and-cancel
+		// loop over ever-new specs queues cheap goroutines, not
+		// simulations.
+		r, err := campaign.RunnerFor(n.Workload,
+			workloads.Config{Iterations: n.Iterations, Dataset: n.Dataset},
+			fault.Options{
+				InjectAtCycle:    n.InjectAtCycle,
+				InjectAtFraction: n.InjectAtFraction,
+				NoCheckpoint:     n.NoCheckpoint,
+			})
+		ch <- built{r, err}
+	}()
+	select {
+	case b := <-ch:
+		return b.r, b.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Execute runs one campaign request synchronously on the process-wide
+// memoized runner cache and returns its canonical outcome. Cancellation
+// via ctx stops the engine within one experiment granule and returns
+// ctx.Err(). tap, when non-nil, observes per-experiment completions.
+//
+// This is the single execution path behind the job service's workers and
+// `faultcampaign -json`: both produce bit-identical outcomes by
+// construction.
+func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error) {
+	n, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	r, err := runnerFor(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	nodes := r.Nodes(n.target())
+	if n.Nodes > 0 {
+		nodes = fault.SampleNodes(nodes, n.Nodes, n.Seed)
+	}
+	models := make([]rtl.FaultModel, len(n.Models))
+	for i, name := range n.Models {
+		models[i], _ = parseModel(name) // validated by Normalize
+	}
+	exps := fault.Expand(nodes, models...)
+
+	var mu sync.Mutex
+	done, failures := 0, 0
+	if tap != nil {
+		tap(0, len(exps), 0)
+	}
+	results, err := r.CampaignContext(ctx, exps, workers, func(i int, res fault.Result) {
+		if tap == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		if res.Outcome.IsFailure() {
+			failures++
+		}
+		tap(done, len(exps), failures)
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomeFrom(n, r, results), nil
+}

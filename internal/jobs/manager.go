@@ -1,0 +1,516 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Queued and Running jobs are in flight (new submissions with
+// the same key coalesce onto them); Done jobs feed the result cache;
+// Failed and Cancelled jobs release their key so a resubmission retries.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors returned by Manager accessors.
+var (
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: manager closed")
+	ErrTerminal  = errors.New("jobs: job already terminal")
+)
+
+// ManagerOptions sizes the job service.
+type ManagerOptions struct {
+	// Concurrency is the number of jobs executed in parallel (the worker
+	// pool size). Default 2.
+	Concurrency int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it fail with ErrQueueFull. Default 64.
+	QueueDepth int
+	// CampaignWorkers bounds each campaign's own experiment parallelism
+	// (0 = GOMAXPROCS). The total engine parallelism is roughly
+	// Concurrency x CampaignWorkers.
+	CampaignWorkers int
+	// MaxJobs bounds how many jobs (and cached outcomes) the manager
+	// retains: when exceeded, the oldest terminal jobs are evicted —
+	// including their cache entries — so a long-running daemon's memory
+	// stays bounded. In-flight jobs are never evicted. Default 512.
+	MaxJobs int
+	// Executor overrides the campaign executor; nil selects Execute.
+	// Tests substitute deterministic or blocking executors here.
+	Executor func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
+}
+
+// Stats counts what the manager has done since it started. Submitted is
+// every accepted submission; Coalesced are submissions that joined an
+// in-flight job; CacheHits are submissions answered from the completed
+// result cache; Executed are campaigns that actually ran the engine.
+type Stats struct {
+	Submitted int `json:"submitted"`
+	Coalesced int `json:"coalesced"`
+	CacheHits int `json:"cache_hits"`
+	Executed  int `json:"executed"`
+}
+
+// Status is an external snapshot of one job.
+type Status struct {
+	ID string `json:"id"`
+	// Key is the request's content address (see Request.Key).
+	Key     string    `json:"key"`
+	State   State     `json:"state"`
+	Request Request   `json:"request"`
+	Created time.Time `json:"created"`
+	// Error is set on failed and cancelled jobs.
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	// Result is present once the job is done; List omits it (fetch the
+	// job by ID, or the server's result endpoint, for the payload).
+	Result *Outcome `json:"result,omitempty"`
+}
+
+// job is the manager-internal record; all fields are guarded by
+// Manager.mu except the immutable identity fields.
+type job struct {
+	id      string
+	key     string
+	req     Request // normalized
+	created time.Time
+
+	state    State
+	errMsg   string
+	result   *Outcome
+	done     int
+	total    int
+	failures int
+	step     int // progress notification stride
+
+	cancel   context.CancelFunc
+	watchers []chan Progress
+	finished chan struct{}
+}
+
+// Manager is the campaign job scheduler: a bounded worker pool over a
+// submission queue, a content-addressed cache of completed outcomes, and
+// per-job progress fan-out. All methods are safe for concurrent use.
+type Manager struct {
+	opts ManagerOptions
+	exec func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals pending work or closure to workers
+	pending []*job     // submission FIFO; may hold cancelled-while-queued entries
+	queued  int        // live queued jobs (excludes cancelled-in-queue)
+	closed  bool
+	seq     int
+	jobs    map[string]*job // by ID
+	order   []*job          // submission order, for List
+	byKey   map[string]*job // latest non-failed job per content key
+	stats   Stats
+}
+
+// NewManager starts a job service with its worker pool running.
+func NewManager(opts ManagerOptions) *Manager {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 512
+	}
+	m := &Manager{
+		opts:  opts,
+		exec:  opts.Executor,
+		jobs:  map[string]*job{},
+		byKey: map[string]*job{},
+	}
+	if m.exec == nil {
+		m.exec = Execute
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < opts.Concurrency; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every in-flight job, stops the workers and waits for them
+// to drain (queued jobs are popped and immediately cancelled via the
+// already-dead base context). Submissions after Close fail with ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// Submit accepts a campaign request. A request whose content key matches
+// a queued or running job coalesces onto it; one matching a completed
+// outcome is answered from the cache as an already-done job. Either way
+// the engine runs at most once per key, the returned status carries the
+// job the caller should follow, and `fresh` reports whether this
+// submission created a new job (false for coalesced and cached answers).
+func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
+	n, err := req.Normalize()
+	if err != nil {
+		return Status{}, false, err
+	}
+	key, err := keyOf(n)
+	if err != nil {
+		return Status{}, false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Status{}, false, ErrClosed
+	}
+	if j := m.byKey[key]; j != nil {
+		m.stats.Submitted++
+		if j.state == StateDone {
+			m.stats.CacheHits++
+		} else {
+			m.stats.Coalesced++
+		}
+		return m.statusLocked(j), false, nil
+	}
+	// The bound counts live queued jobs; cancelled-while-queued entries
+	// are spliced out of the FIFO by Cancel and free their slot.
+	if m.queued >= m.opts.QueueDepth {
+		return Status{}, false, ErrQueueFull
+	}
+	m.stats.Submitted++
+	m.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", m.seq),
+		key:      key,
+		req:      n,
+		created:  time.Now().UTC(),
+		state:    StateQueued,
+		finished: make(chan struct{}),
+	}
+	m.pending = append(m.pending, j)
+	m.queued++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.byKey[key] = j
+	m.pruneLocked()
+	m.cond.Signal()
+	return m.statusLocked(j), true, nil
+}
+
+// pruneLocked evicts the oldest terminal jobs — and their cached
+// outcomes — once the retention bound is exceeded. In-flight jobs are
+// skipped, so the manager can transiently hold more than MaxJobs when
+// the backlog itself exceeds the bound.
+func (m *Manager) pruneLocked() {
+	excess := len(m.order) - m.opts.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if excess > 0 && j.state.Terminal() {
+			excess--
+			delete(m.jobs, j.id)
+			if m.byKey[j.key] == j {
+				delete(m.byKey, j.key)
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	m.order = kept
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns every job in submission order. Result payloads are
+// omitted from list snapshots — a done campaign's Outcome embeds the full
+// per-experiment array, so a list near the retention bound would re-ship
+// megabytes per poll; fetch Get(id) or the result endpoint instead.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, len(m.order))
+	for i, j := range m.order {
+		out[i] = m.statusLocked(j)
+		out[i].Result = nil
+	}
+	return out
+}
+
+// ManagerStats returns the counters accumulated so far.
+func (m *Manager) ManagerStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Cancel stops a job and returns its status as of the cancellation: a
+// queued job is cancelled immediately, a running one has its context
+// cancelled and stops within one experiment granule. Terminal jobs
+// return ErrTerminal. The status is snapshotted under the same lock —
+// callers must not re-resolve the ID afterwards, since a finished job
+// can be pruned at any moment.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+		m.queued--
+		// Splice the job out of the pending FIFO now: leaving carcasses
+		// for workers to skip would let a submit-and-cancel loop grow the
+		// slice without bound while every worker is busy.
+		for i, p := range m.pending {
+			if p == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		m.finishLocked(j)
+		return m.statusLocked(j), nil
+	case StateRunning:
+		// Release the content key now, not when the worker notices the
+		// cancellation: a resubmission in that window must start a fresh
+		// job rather than coalesce onto this dying one.
+		if m.byKey[j.key] == j {
+			delete(m.byKey, j.key)
+		}
+		j.cancel()
+		return m.statusLocked(j), nil
+	default:
+		return m.statusLocked(j), ErrTerminal
+	}
+}
+
+// Watch subscribes to a job's progress. The returned channel first yields
+// the job's current snapshot, then throttled incremental snapshots, and
+// finally the terminal snapshot, after which it is closed. Slow consumers
+// lose intermediate snapshots (newest wins), never the terminal one. The
+// unsubscribe function releases the subscription early.
+func (m *Manager) Watch(id string) (<-chan Progress, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Progress, 16)
+	ch <- m.progressLocked(j)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	unsub := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, unsub, nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final status.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	select {
+	case <-j.finished:
+		// Snapshot the captured job rather than re-resolving the ID: a
+		// just-finished job can be pruned concurrently, and its waiters
+		// must still see the final status.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.statusLocked(j), nil
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// worker drains the pending FIFO until Close. After Close it keeps
+// popping: queued jobs then run against the cancelled base context and
+// terminate as cancelled immediately, so no waiter is left hanging.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		if j.state != StateQueued { // cancelled while queued
+			continue
+		}
+		m.queued--
+		j.state = StateRunning
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		m.notifyLocked(j)
+		m.mu.Unlock()
+
+		out, err := m.exec(ctx, j.req, m.opts.CampaignWorkers, func(done, total, failures int) {
+			m.mu.Lock()
+			j.done, j.total, j.failures = done, total, failures
+			if j.step == 0 {
+				// ~64 notifications per campaign, plus the final one.
+				j.step = total/64 + 1
+			}
+			if done == total || done%j.step == 0 {
+				m.notifyLocked(j)
+			}
+			m.mu.Unlock()
+		})
+		cancel()
+
+		m.mu.Lock()
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = out
+			m.stats.Executed++
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCancelled
+			j.errMsg = err.Error()
+		default:
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+		m.finishLocked(j)
+	}
+}
+
+// finishLocked publishes a job's terminal state: releases its content key
+// unless it produced a cacheable outcome, emits the terminal progress
+// snapshot, closes all watcher channels and unblocks waiters.
+func (m *Manager) finishLocked(j *job) {
+	if j.state == StateDone {
+		// A cancelled-then-completed-anyway job had its key released at
+		// Cancel; restore cacheability unless a fresh job took the key.
+		if m.byKey[j.key] == nil {
+			m.byKey[j.key] = j
+		}
+	} else if m.byKey[j.key] == j {
+		delete(m.byKey, j.key)
+	}
+	m.notifyLocked(j)
+	for _, ch := range j.watchers {
+		close(ch)
+	}
+	j.watchers = nil
+	close(j.finished)
+}
+
+// notifyLocked pushes the current progress snapshot to every watcher,
+// dropping the oldest buffered snapshot when a watcher is full.
+func (m *Manager) notifyLocked(j *job) {
+	p := m.progressLocked(j)
+	for _, ch := range j.watchers {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+func (m *Manager) progressLocked(j *job) Progress {
+	p := Progress{
+		JobID:    j.id,
+		State:    j.state,
+		Done:     j.done,
+		Total:    j.total,
+		Failures: j.failures,
+	}
+	if j.done > 0 {
+		p.Pf = float64(j.failures) / float64(j.done)
+	}
+	p.PfLow, p.PfHigh = stats.WilsonCI(j.failures, j.done, stats.Z95)
+	if j.state == StateDone && j.result != nil {
+		// The terminal snapshot reports the exact final numbers.
+		p.Pf, p.PfLow, p.PfHigh = j.result.Pf, j.result.PfLow, j.result.PfHigh
+		p.Done, p.Total, p.Failures = j.result.Injections, j.result.Injections, j.result.Failures
+	}
+	return p
+}
+
+func (m *Manager) statusLocked(j *job) Status {
+	return Status{
+		ID:       j.id,
+		Key:      j.key,
+		State:    j.state,
+		Request:  j.req,
+		Created:  j.created,
+		Error:    j.errMsg,
+		Progress: m.progressLocked(j),
+		Result:   j.result,
+	}
+}

@@ -1,0 +1,199 @@
+// Package server exposes the campaign job service (internal/jobs) over
+// HTTP/JSON, with an NDJSON streaming endpoint for live campaign
+// progress. It is the transport layer of cmd/faultserverd; all scheduling
+// semantics (coalescing, content-addressed caching, cancellation) live in
+// the jobs manager.
+//
+// API (all under /api/v1):
+//
+//	POST   /campaigns            submit a campaign (jobs.Request JSON);
+//	                             201 for a fresh job, 200 when the
+//	                             submission coalesced onto an in-flight
+//	                             job or hit the result cache
+//	GET    /campaigns            list jobs in submission order
+//	GET    /campaigns/{id}       job status (result embedded when done)
+//	GET    /campaigns/{id}/result canonical outcome JSON only — byte-
+//	                             identical to `faultcampaign -json`
+//	GET    /campaigns/{id}/stream NDJSON progress snapshots until the job
+//	                             reaches a terminal state
+//	DELETE /campaigns/{id}       cancel a queued or running job
+//	GET    /workloads            bundled workload names
+//	GET    /healthz              liveness plus scheduler counters
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/jobs"
+	"repro/internal/workloads"
+)
+
+// Server routes HTTP traffic onto a jobs.Manager.
+type Server struct {
+	mgr *jobs.Manager
+	mux *http.ServeMux
+}
+
+// New builds the HTTP front end of a job manager.
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/v1/campaigns", s.submit)
+	s.mux.HandleFunc("GET /api/v1/campaigns", s.list)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.status)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.result)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/stream", s.stream)
+	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.cancel)
+	s.mux.HandleFunc("GET /api/v1/workloads", s.workloads)
+	s.mux.HandleFunc("GET /api/v1/healthz", s.healthz)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// errCode maps manager errors onto HTTP status codes.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrTerminal):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	// A campaign request is a few hundred bytes; bound the body so one
+	// oversized POST cannot exhaust server memory.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, fresh, err := s.mgr.Submit(req)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	code := http.StatusOK
+	if fresh {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}{Jobs: s.mgr.List()})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// result serves the bare canonical outcome, the payload that must be
+// byte-identical across duplicate submissions and diffable against
+// `faultcampaign -json`.
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	if st.Result == nil {
+		writeErr(w, http.StatusConflict,
+			errors.New("jobs: job has no result yet (state "+string(st.State)+")"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	jobs.EncodeOutcome(w, st.Result)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	// Cancel snapshots the status under its own lock; re-resolving the ID
+	// here could 404 if a concurrent submission prunes the finished job.
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// stream writes NDJSON progress snapshots (one jobs.Progress per line,
+// flushed immediately) until the job reaches a terminal state or the
+// client disconnects. The last line is always the terminal snapshot
+// unless the client left first.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	ch, unsub, err := s.mgr.Watch(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(p); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workloads []string `json:"workloads"`
+	}{Workloads: workloads.Names()})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string     `json:"status"`
+		Stats  jobs.Stats `json:"stats"`
+	}{Status: "ok", Stats: s.mgr.ManagerStats()})
+}

@@ -106,6 +106,42 @@ func LogFit(xs, ys []float64) (a, b, r2 float64, err error) {
 // EvalLog evaluates y = a*ln(x) + b.
 func EvalLog(a, b, x float64) float64 { return a*math.Log(x) + b }
 
+// Z95 is the normal z-value of a 95% two-sided confidence interval, the
+// level every reported Pf interval uses.
+const Z95 = 1.96
+
+// WilsonCI returns the Wilson score confidence interval for a binomial
+// proportion: the range of true failure probabilities compatible with
+// observing `successes` failures in `trials` experiments at confidence
+// level z (1.96 for 95%). Unlike the normal approximation it stays inside
+// [0,1] and behaves sensibly at p near 0 or 1 and for small n, which is
+// exactly the regime of a streaming campaign's first few experiments.
+//
+// With no trials the interval is the vacuous [0,1]; z <= 0 collapses to
+// the point estimate.
+func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	if z <= 0 {
+		return p, p
+	}
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Pearson returns the Pearson correlation coefficient.
 func Pearson(xs, ys []float64) (float64, error) {
 	n := len(xs)

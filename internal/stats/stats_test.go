@@ -96,6 +96,47 @@ func TestLogFitRejectsNonPositive(t *testing.T) {
 	}
 }
 
+func TestWilsonCIKnownValues(t *testing.T) {
+	// Reference values computed from the closed-form Wilson score
+	// interval (and cross-checked against statsmodels
+	// proportion_confint(method="wilson")).
+	cases := []struct {
+		k, n   int
+		z      float64
+		lo, hi float64
+	}{
+		{10, 100, 1.96, 0.055229, 0.174367},
+		{0, 20, 1.96, 0.000000, 0.161130},
+		{20, 20, 1.96, 0.838870, 1.000000},
+		{5, 10, 1.96, 0.236590, 0.763410},
+		{1, 3, 1.96, 0.061490, 0.792345},
+	}
+	for _, c := range cases {
+		lo, hi := WilsonCI(c.k, c.n, c.z)
+		if !close(lo, c.lo, 1e-5) || !close(hi, c.hi, 1e-5) {
+			t.Errorf("WilsonCI(%d,%d,%v) = [%.6f, %.6f], want [%.6f, %.6f]",
+				c.k, c.n, c.z, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestWilsonCIEdges(t *testing.T) {
+	if lo, hi := WilsonCI(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("no trials: [%v, %v], want [0, 1]", lo, hi)
+	}
+	if lo, hi := WilsonCI(3, 10, 0); lo != 0.3 || hi != 0.3 {
+		t.Errorf("z=0: [%v, %v], want point estimate", lo, hi)
+	}
+	// The interval always contains the point estimate and stays in [0,1].
+	for k := 0; k <= 25; k++ {
+		lo, hi := WilsonCI(k, 25, 2.5758) // 99%
+		p := float64(k) / 25
+		if lo < 0 || hi > 1 || lo > p+1e-12 || hi < p-1e-12 {
+			t.Errorf("k=%d: [%v, %v] does not bracket %v inside [0,1]", k, lo, hi, p)
+		}
+	}
+}
+
 func TestPearsonSigns(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	up := []float64{2, 4, 6, 8, 10}
