@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test bench bench-smoke bench-json bench-json-smoke serve-smoke vet fmt-check lint
+# Tolerated fractional throughput regression for bench-check (0.15 = 15%).
+# Widen it when gating on hardware that differs from the baseline's.
+BENCH_TOLERANCE ?= 0.15
+
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke vet fmt-check staticcheck lint
 
 all: build test
 
@@ -31,12 +35,28 @@ bench-json:
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out -
 
+# Benchmark-regression gate: measure the speed-critical benchmarks (the
+# engine throughput set: RTL cycles/s, ISS inst/s, campaign exp/s) and
+# fail if any throughput metric regresses more than BENCH_TOLERANCE
+# against the committed BENCH_PR2.json baseline.
+bench-check:
+	$(GO) run ./cmd/benchjson \
+		-bench '^Benchmark(RTLExecution|ISSExecution|CampaignCheckpointed|CampaignFromReset)$$' \
+		-benchtime 2s -out - -baseline BENCH_PR2.json -max-regress $(BENCH_TOLERANCE)
+
 # Hermetic service smoke: builds faultserverd and faultcampaign, boots
 # the daemon on an ephemeral port, submits one small campaign over HTTP
 # twice, and asserts one engine execution plus byte-identical results
 # between the server and `faultcampaign -json`.
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
+
+# Hermetic sharding smoke: boots a remote-only shard coordinator plus 3
+# worker processes, runs a Figure-4-sized campaign through the
+# distributed shard path, and asserts byte-identical results against the
+# unsharded CLI (and the in-process -shards mode, both targets).
+shard-smoke:
+	$(GO) run ./cmd/shardsmoke
 
 vet:
 	$(GO) vet ./...
@@ -47,4 +67,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-lint: vet fmt-check
+# staticcheck is optional locally (the container may not ship it); CI
+# installs and runs it unconditionally via its action.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+lint: vet fmt-check staticcheck

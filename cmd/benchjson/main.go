@@ -5,6 +5,16 @@
 // variant on every change (make bench-json-smoke) so the tool and the
 // whole suite stay green, and fresh baselines are cut with
 // make bench-json.
+//
+// With -baseline the run becomes a regression gate (make bench-check):
+// every throughput metric (cycles/s, exp/s, inst/s — higher is better)
+// present in both the baseline and the current run is compared, and the
+// tool exits nonzero when any regresses by more than -max-regress
+// (default 15%). Only throughput units participate: ns/op on a shared CI
+// runner is too noisy, while the engine's cycles/s and exp/s are the
+// quantities the ROADMAP optimizes. Absolute numbers are hardware-
+// sensitive — compare against a baseline cut on comparable hardware, or
+// widen -max-regress accordingly.
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,7 +45,16 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test (a duration, or Nx for fixed iterations)")
 	count := flag.Int("count", 1, "go test -count; repeated measurements are averaged")
 	out := flag.String("out", "BENCH_PR2.json", `output path ("-" for stdout)`)
+	baseline := flag.String("baseline", "", "compare throughput metrics against this committed record and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.15, "tolerated fractional throughput regression against -baseline")
 	flag.Parse()
+	// Refuse to overwrite the record we are about to gate against: the
+	// write would make the comparison vacuous and clobber the committed
+	// baseline. Checked before the (slow) benchmark run.
+	if *baseline != "" && *out != "-" && *out == *baseline {
+		fmt.Fprintf(os.Stderr, "benchjson: -out and -baseline are both %s; use -out - when gating\n", *baseline)
+		os.Exit(1)
+	}
 
 	args := []string{"test", "-bench=" + *bench, "-benchtime=" + *benchtime,
 		"-count=" + strconv.Itoa(*count), "-run=^$", "."}
@@ -65,6 +85,27 @@ func main() {
 		os.Exit(1)
 	}
 	blob = append(blob, '\n')
+
+	// The gate runs before any write: a failed gate must not replace a
+	// record on disk with the regressed measurements.
+	if *baseline != "" {
+		regressions, err := check(rec, *baseline, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d throughput regression(s) beyond %.0f%% vs %s:\n",
+				len(regressions), *maxRegress*100, *baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no throughput regression beyond %.0f%% vs %s\n",
+			*maxRegress*100, *baseline)
+	}
+
 	if *out == "-" {
 		os.Stdout.Write(blob)
 		return
@@ -74,6 +115,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// throughputUnits are the higher-is-better metrics the regression gate
+// compares. Wall-clock ns/op is deliberately excluded: on shared CI
+// machines it regresses with neighbour load, while the engine throughput
+// metrics are what the perf work optimizes.
+var throughputUnits = map[string]bool{
+	"cycles/s": true,
+	"exp/s":    true,
+	"inst/s":   true,
+}
+
+// check compares the current record against a committed baseline and
+// returns one line per throughput metric that regressed beyond tol.
+// Benchmarks or metrics present on only one side are skipped: the gate
+// guards known quantities, it does not freeze the suite's shape.
+func check(cur *Record, baselinePath string, tol float64) ([]string, error) {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base Record
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	var regressions []string
+	compared := 0
+	for _, name := range sortedKeys(base.Benchmarks) {
+		baseMetrics := base.Benchmarks[name]
+		curMetrics := cur.Benchmarks[name]
+		if curMetrics == nil {
+			continue
+		}
+		for _, unit := range sortedKeys(baseMetrics) {
+			if !throughputUnits[unit] {
+				continue
+			}
+			was := baseMetrics[unit]
+			now, ok := curMetrics[unit]
+			if !ok || was <= 0 {
+				continue
+			}
+			compared++
+			if now < was*(1-tol) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.4g -> %.4g (%.1f%% below baseline)",
+						name, unit, was, now, 100*(1-now/was)))
+			}
+		}
+	}
+	if compared == 0 {
+		// A gate that compared nothing would pass vacuously forever — the
+		// baseline drifted out from under the suite; fail loudly instead.
+		return nil, fmt.Errorf("no throughput metrics shared with %s; refresh the baseline", baselinePath)
+	}
+	return regressions, nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parse extracts benchmark result lines from go test -bench output. Each

@@ -10,6 +10,12 @@
 // campaign job server uses and the result is emitted in the service's
 // deterministic encoding, so CLI output and `faultserverd` responses are
 // byte-for-byte diffable for the same spec.
+//
+// -shards N executes the campaign as N deterministic experiment-range
+// shards on in-process workers (one binary, no daemon); results are
+// byte-identical to the unsharded run. -epsilon E enables adaptive early
+// stopping: the campaign halts once the Wilson 95% half-width around the
+// progressive Pf drops to E.
 package main
 
 import (
@@ -45,20 +51,27 @@ func main() {
 		injfrac = flag.Float64("inject-frac", 0, "injection instant as a fraction of the golden run (overrides -inject-at)")
 		noCkpt  = flag.Bool("no-checkpoint", false, "re-simulate each experiment from reset instead of forking the golden-run checkpoint")
 		asJSON  = flag.Bool("json", false, "emit the campaign job service's canonical result JSON")
+		shards  = flag.Int("shards", 0, "split the campaign into this many experiment-range shards on in-process workers (0/1 = unsharded)")
+		epsilon = flag.Float64("epsilon", 0, "adaptive early stop once the Wilson 95% half-width around Pf reaches this (0 = run to completion)")
 	)
 	flag.Parse()
 
-	if *asJSON {
+	if *asJSON || *shards > 1 || *epsilon > 0 {
 		// The -iters flag defaults to 2 for the human-readable campaign,
 		// but an HTTP submission that omits "iterations" means 0
 		// (workload default). For byte-parity with the server, -json maps
-		// an unset flag to 0 too; an explicit -iters still wins.
-		jsonIters := 0
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "iters" {
-				jsonIters = *iters
-			}
-		})
+		// an unset flag to 0 too; an explicit -iters still wins. The
+		// human-readable sharded/adaptive path keeps the CLI default so
+		// `-shards`/`-epsilon` never change which campaign runs.
+		jsonIters := *iters
+		if *asJSON {
+			jsonIters = 0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "iters" {
+					jsonIters = *iters
+				}
+			})
+		}
 		req := jobs.Request{
 			Workload:         *name,
 			Iterations:       jsonIters,
@@ -69,19 +82,33 @@ func main() {
 			InjectAtCycle:    *inject,
 			InjectAtFraction: *injfrac,
 			NoCheckpoint:     *noCkpt,
+			Epsilon:          *epsilon,
 		}
 		if *model != "all" {
 			// Unknown names are rejected by the request normalization
 			// inside Execute, keeping one canonical model list.
 			req.Models = []string{*model}
 		}
-		out, err := jobs.Execute(context.Background(), req, *workers, nil)
+		t0 := time.Now()
+		var out *jobs.Outcome
+		var err error
+		if *shards > 1 {
+			// Sharded in-process execution: byte-identical to unsharded
+			// (sharding is scheduling, not content).
+			out, err = jobs.ExecuteSharded(context.Background(), req, *shards, *workers, nil)
+		} else {
+			out, err = jobs.Execute(context.Background(), req, *workers, nil)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := jobs.EncodeOutcome(os.Stdout, out); err != nil {
-			log.Fatal(err)
+		if *asJSON {
+			if err := jobs.EncodeOutcome(os.Stdout, out); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
+		renderOutcome(out, *shards, time.Since(t0))
 		return
 	}
 
@@ -158,4 +185,88 @@ func main() {
 		tab.AddRow(u.String(), report.Percent(res.PfByUnit[u]))
 	}
 	fmt.Print(tab.String())
+}
+
+// renderOutcome prints the human-readable summary of a service-path
+// campaign (sharded and/or adaptive executions go through the canonical
+// outcome rather than raw engine results).
+func renderOutcome(out *jobs.Outcome, shards int, elapsed time.Duration) {
+	fmt.Printf("workload:   %s, target %s, %d injections in %.1fs",
+		out.Request.Workload, strings.ToUpper(out.Request.Target), out.Injections, elapsed.Seconds())
+	if shards > 1 {
+		fmt.Printf(" (%d shards)", shards)
+	}
+	fmt.Println()
+	engine := "from-reset re-simulation"
+	if out.Checkpointed {
+		engine = "golden-run forking (warm-up prefix simulated once)"
+	}
+	fmt.Printf("engine:     %s, golden run %d cycles\n", engine, out.GoldenCycles)
+	if out.EarlyStopped {
+		fmt.Printf("adaptive:   converged after %d of %d experiments (epsilon %.3g, Wilson 95%%)\n",
+			out.Injections, out.Requested, out.Request.Epsilon)
+	}
+	fmt.Printf("Pf:         %s of faults propagated to failures (95%% CI %s..%s, Wilson)\n",
+		report.Percent(out.Pf), report.Percent(out.PfLow), report.Percent(out.PfHigh))
+	if out.MaxLatencyCycles >= 0 {
+		fmt.Printf("latency:    max detection latency %d cycles\n", out.MaxLatencyCycles)
+	}
+	// Sort outcome and unit names in their enum order, exactly like the
+	// raw-results path above: adding -shards or -epsilon must not reorder
+	// any output line.
+	keys := make([]string, 0, len(out.Outcomes))
+	for k := range out.Outcomes {
+		keys = append(keys, k)
+	}
+	sortByRank(keys, outcomeRank())
+	fmt.Printf("outcomes:  ")
+	for _, k := range keys {
+		fmt.Printf(" %s=%d", k, out.Outcomes[k])
+	}
+	fmt.Println()
+	tab := &report.Table{Title: "per-unit Pf (Pmf of Equation 1)", Columns: []string{"unit", "Pf"}}
+	units := make([]string, 0, len(out.PfByUnit))
+	for u := range out.PfByUnit {
+		units = append(units, u)
+	}
+	sortByRank(units, unitRank())
+	for _, u := range units {
+		tab.AddRow(u, report.Percent(out.PfByUnit[u]))
+	}
+	fmt.Print(tab.String())
+}
+
+// outcomeRank and unitRank map the service's wire names back onto their
+// enum order so sharded/adaptive renderings sort like the raw-results
+// path.
+func outcomeRank() map[string]int {
+	r := map[string]int{}
+	for o := fault.OutcomeNoEffect; o <= fault.OutcomeHang; o++ {
+		r[o.String()] = int(o)
+	}
+	return r
+}
+
+func unitRank() map[string]int {
+	r := map[string]int{}
+	for u := sparc.Unit(0); u < sparc.NumUnits; u++ {
+		r[u.String()] = int(u)
+	}
+	return r
+}
+
+// sortByRank orders names by their rank, unknown names last by name.
+func sortByRank(names []string, rank map[string]int) {
+	sort.Slice(names, func(i, j int) bool {
+		ri, iok := rank[names[i]]
+		rj, jok := rank[names[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok != jok:
+			return iok
+		default:
+			return names[i] < names[j]
+		}
+	})
 }

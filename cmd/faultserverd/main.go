@@ -9,9 +9,25 @@
 //
 //	faultserverd -addr :8080 -jobs 2 -campaign-workers 0
 //
+// With -shards N each campaign is split into N deterministic
+// experiment-range shards, drained by in-process shard workers and by
+// any remote workers pulling leases over the HTTP shard surface.
+// Sharding is scheduling, not content: results stay byte-identical to
+// unsharded runs.
+//
+// Worker mode joins another daemon's campaigns instead of serving:
+//
+//	faultserverd -worker -coordinator http://host:8080 -worker-id w1
+//
+// The worker polls the coordinator for shards, executes them on the
+// local pooled engine (each campaign's golden run is simulated once per
+// worker process, then shared across its shards), streams partial
+// tallies back, and survives coordinator restarts. Scale out = start
+// more workers; no other configuration.
+//
 // The listening address is printed to stdout once the socket is bound
 // (useful with -addr 127.0.0.1:0 in scripts). See internal/server for the
-// API surface and README "Running as a service" for curl examples.
+// API surface and README "Scaling out" for examples.
 package main
 
 import (
@@ -37,22 +53,41 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		njobs   = flag.Int("jobs", 2, "campaigns executed concurrently")
 		queue   = flag.Int("queue", 64, "max queued campaigns")
-		workers = flag.Int("campaign-workers", 0, "experiment workers per campaign (0 = GOMAXPROCS)")
+		workers = flag.Int("campaign-workers", 0, "experiment workers per campaign, or per shard in worker mode (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 1, "experiment-range shards per campaign (>1 enables the shard pool and the HTTP shard surface)")
+		local   = flag.Int("shard-local-workers", 0, "in-process shard executors per campaign (0 = campaign workers, -1 = serve shards to remote workers only)")
+		ttl     = flag.Duration("shard-lease-ttl", 2*time.Minute, "reclaim a shard whose worker has been silent this long")
+
+		workerMode  = flag.Bool("worker", false, "run as a shard worker instead of a server")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (worker mode)")
+		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default host:pid)")
 	)
 	flag.Parse()
 
+	if *workerMode {
+		runWorker(*coordinator, *workerID, *workers)
+		return
+	}
+
 	mgr := jobs.NewManager(jobs.ManagerOptions{
-		Concurrency:     *njobs,
-		QueueDepth:      *queue,
-		CampaignWorkers: *workers,
+		Concurrency:       *njobs,
+		QueueDepth:        *queue,
+		CampaignWorkers:   *workers,
+		Shards:            *shards,
+		ShardLocalWorkers: *local,
+		ShardLeaseTTL:     *ttl,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("faultserverd: listening on http://%s\n", ln.Addr())
+	if *shards > 1 {
+		log.Printf("sharding campaigns %d ways (local executors: %s)", *shards, localDesc(*local))
+	}
+	api := server.New(mgr)
 	srv := &http.Server{
-		Handler: server.New(mgr).Handler(),
+		Handler: api.Handler(),
 		// No WriteTimeout: the NDJSON stream endpoint is legitimately
 		// long-lived. Reads (headers and bodies — a campaign request is
 		// tiny) and idle keep-alives are bounded so stalled clients
@@ -69,13 +104,19 @@ func main() {
 	select {
 	case sig := <-stop:
 		log.Printf("received %v, shutting down", sig)
-		// Close the manager first: in-flight jobs cancel within one
-		// experiment granule, watchers get their terminal snapshots and
-		// the stream handlers return, so the connections Shutdown waits
-		// on actually go idle.
+		// Shutdown ordering matters: close the manager first so in-flight
+		// jobs cancel within one experiment granule and every watcher gets
+		// its terminal snapshot; then drain the NDJSON streams so their
+		// last lines are flushed over still-open connections; only then
+		// close the listener. Draining before Shutdown is what spares
+		// clients the connection resets a racing close used to cause.
 		mgr.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		srv.SetKeepAlivesEnabled(false)
+		if err := api.Drain(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
@@ -84,4 +125,39 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+func localDesc(local int) string {
+	if local < 0 {
+		return "none, remote workers only"
+	}
+	if local == 0 {
+		return "campaign workers"
+	}
+	return fmt.Sprint(local)
+}
+
+// runWorker joins a coordinator's campaigns until SIGTERM/SIGINT.
+func runWorker(coordinator, id string, workers int) {
+	if coordinator == "" {
+		log.Fatal("-worker requires -coordinator URL")
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	log.SetPrefix("faultserverd[" + id + "]: ")
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w := &server.Worker{
+		Coordinator: coordinator,
+		Name:        id,
+		Workers:     workers,
+		Log:         log.Default(),
+	}
+	log.Printf("pulling shards from %s", coordinator)
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
+	log.Printf("worker stopped")
 }

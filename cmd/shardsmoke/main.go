@@ -1,0 +1,294 @@
+// Command shardsmoke is the hermetic end-to-end smoke test behind `make
+// shard-smoke`: it builds faultserverd and faultcampaign, boots a
+// coordinator daemon in remote-only shard mode plus three worker
+// processes, runs a Figure-4-sized campaign (rspeed) through the
+// distributed shard path, and asserts the scaling contract — the merged
+// result is byte-identical to `faultcampaign -json` run unsharded, the
+// in-process sharded CLI (3 workers, one binary) matches too, on both
+// injection targets, and the coordinator accounted for every shard.
+//
+// It needs only the go toolchain and a TCP loopback.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// spec is the Figure-4-sized campaign: rspeed at 2 kernel iterations
+// (the figure's first configuration), stuck-at-1 over a 60-node IU
+// sample — 60 experiments split 6 ways across 3 worker processes.
+var spec = map[string]interface{}{
+	"workload":           "rspeed",
+	"iterations":         2,
+	"target":             "iu",
+	"models":             []string{"sa1"},
+	"nodes":              60,
+	"seed":               1,
+	"inject_at_fraction": 0.3,
+}
+
+func cliArgs(target string, extra ...string) []string {
+	args := []string{
+		"-w", "rspeed", "-iters", "2", "-target", target, "-model", "sa1",
+		"-nodes", "60", "-seed", "1", "-inject-frac", "0.3", "-json",
+	}
+	return append(args, extra...)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shardsmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shardsmoke: OK")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "shardsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	serverBin := filepath.Join(dir, "faultserverd")
+	cliBin := filepath.Join(dir, "faultcampaign")
+	for bin, pkg := range map[string]string{
+		serverBin: "./cmd/faultserverd",
+		cliBin:    "./cmd/faultcampaign",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	// Coordinator: 6 shards per campaign, no local shard execution — all
+	// work must flow over the HTTP shard surface to the workers.
+	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-jobs", "1",
+		"-shards", "6", "-shard-local-workers=-1", "-shard-lease-ttl", "30s")
+	srv.Stderr = os.Stderr
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+			base = strings.TrimSpace(sc.Text()[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		return fmt.Errorf("coordinator never reported its address")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	log.Printf("coordinator at %s", base)
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	// Three worker processes, each with modest intra-shard parallelism.
+	var workers []*exec.Cmd
+	defer func() {
+		for _, w := range workers {
+			w.Process.Signal(syscall.SIGTERM)
+			w.Wait()
+		}
+	}()
+	for i := 1; i <= 3; i++ {
+		w := exec.Command(serverBin, "-worker", "-coordinator", base,
+			"-worker-id", fmt.Sprintf("w%d", i), "-campaign-workers", "2")
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			return err
+		}
+		workers = append(workers, w)
+	}
+	log.Printf("3 workers pulling shards")
+
+	// Submit the campaign and stream progress until terminal.
+	body, _ := json.Marshal(spec)
+	id, code, err := submit(base, body)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("submission: HTTP %d, want 201", code)
+	}
+	state, snapshots, err := streamToEnd(base, id)
+	if err != nil {
+		return err
+	}
+	if state != "done" {
+		return fmt.Errorf("job ended %q after %d snapshots", state, snapshots)
+	}
+	log.Printf("sharded campaign done after %d progress snapshots", snapshots)
+
+	// The distributed result must be byte-identical to the unsharded CLI.
+	serverRes, err := getBytes(base + "/api/v1/campaigns/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	unsharded, err := runCLI(cliBin, cliArgs("iu")...)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(serverRes, unsharded) {
+		return fmt.Errorf("distributed sharded result and unsharded faultcampaign -json diverge:\n--- server\n%s\n--- cli\n%s", serverRes, unsharded)
+	}
+	log.Printf("coordinator+workers == unsharded CLI (%d bytes)", len(serverRes))
+
+	// The in-process sharded CLI (3 workers, one binary) matches too —
+	// on the IU target and on CMEM.
+	for _, target := range []string{"iu", "cmem"} {
+		want := unsharded
+		if target == "cmem" {
+			if want, err = runCLI(cliBin, cliArgs(target)...); err != nil {
+				return err
+			}
+		}
+		sharded, err := runCLI(cliBin, cliArgs(target, "-shards", "3")...)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(want, sharded) {
+			return fmt.Errorf("target %s: -shards 3 diverged from unsharded -json", target)
+		}
+		log.Printf("target %s: -shards 3 == unsharded (%d bytes)", target, len(want))
+	}
+
+	// The coordinator must have planned 6 shards and merged all 6, all
+	// executed by remote workers.
+	var health struct {
+		Shards struct {
+			Planned   int            `json:"planned"`
+			Completed int            `json:"completed"`
+			Workers   map[string]int `json:"workers"`
+		} `json:"shards"`
+	}
+	if err := getJSON(base+"/api/v1/healthz", &health); err != nil {
+		return err
+	}
+	if health.Shards.Planned != 6 || health.Shards.Completed != 6 {
+		return fmt.Errorf("shard stats %+v: want 6 planned, 6 completed", health.Shards)
+	}
+	total := 0
+	for w, n := range health.Shards.Workers {
+		if !strings.HasPrefix(w, "w") {
+			return fmt.Errorf("unexpected worker %q in stats (local execution leaked?)", w)
+		}
+		total += n
+	}
+	if total < 6 {
+		return fmt.Errorf("workers leased %d shards, want >= 6", total)
+	}
+	log.Printf("shard accounting: %d leases across %d workers", total, len(health.Shards.Workers))
+	return nil
+}
+
+func runCLI(bin string, args ...string) ([]byte, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %w", filepath.Base(bin), strings.Join(args, " "), err)
+	}
+	return out, nil
+}
+
+func streamToEnd(base, id string) (state string, lines int, err error) {
+	resp, err := http.Get(base + "/api/v1/campaigns/" + id + "/stream")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var lastLine []byte
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lastLine = append(lastLine[:0], sc.Bytes()...)
+		lines++
+	}
+	var last struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(lastLine, &last); err != nil {
+		return "", lines, fmt.Errorf("bad NDJSON tail %q: %w", lastLine, err)
+	}
+	return last.State, lines, nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("coordinator never became healthy")
+}
+
+func submit(base string, body []byte) (id string, code int, err error) {
+	resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return "", resp.StatusCode, fmt.Errorf("submit response %q: %w", b, err)
+	}
+	return st.ID, resp.StatusCode, nil
+}
+
+func getBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func getJSON(url string, v interface{}) error {
+	b, err := getBytes(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

@@ -26,10 +26,17 @@ type (
 	// CampaignOutcome is the deterministic result encoding shared with
 	// the HTTP API and `faultcampaign -json`.
 	CampaignOutcome = jobs.Outcome
-	// JobServiceOptions sizes the scheduler.
+	// JobServiceOptions sizes the scheduler. Setting Shards > 1 executes
+	// every campaign through a shard pool: deterministic experiment-range
+	// shards drained by in-process workers and by remote workers attached
+	// over the HTTP shard surface. Sharding never changes result bytes.
 	JobServiceOptions = jobs.ManagerOptions
 	// JobState is a job's lifecycle phase.
 	JobState = jobs.State
+	// ShardRange is one contiguous experiment range of a sharded campaign.
+	ShardRange = jobs.ShardRange
+	// ShardStats counts what a shard pool has done.
+	ShardStats = jobs.ShardStats
 )
 
 // JobService is an in-process campaign job scheduler.
@@ -80,7 +87,24 @@ func (s *JobService) Close() { s.m.Close() }
 // ExecuteCampaign runs one campaign request synchronously on the shared
 // memoized runner cache and returns its canonical outcome — the
 // synchronous twin of SubmitCampaign and the exact path behind
-// `faultcampaign -json`.
+// `faultcampaign -json`. A request with a nonzero Epsilon stops
+// adaptively once the Wilson 95% half-width around its progressive Pf
+// reaches it.
 func ExecuteCampaign(ctx context.Context, req CampaignRequest, workers int) (*CampaignOutcome, error) {
 	return jobs.Execute(ctx, req, workers, nil)
+}
+
+// ExecuteShardedCampaign runs one campaign split into `shards`
+// deterministic experiment-range shards on in-process workers (0 =
+// GOMAXPROCS) — the single-binary multi-worker mode. With early stopping
+// off the outcome is byte-identical to ExecuteCampaign for the same
+// request: sharding is scheduling, not content.
+func ExecuteShardedCampaign(ctx context.Context, req CampaignRequest, shards, workers int) (*CampaignOutcome, error) {
+	return jobs.ExecuteSharded(ctx, req, shards, workers, nil)
+}
+
+// PlanCampaignShards splits n experiments into at most k contiguous,
+// near-equal ranges — the deterministic shard plan coordinators use.
+func PlanCampaignShards(n, k int) []ShardRange {
+	return jobs.PlanShards(n, k)
 }

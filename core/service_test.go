@@ -83,6 +83,39 @@ func TestJobServiceRoundTrip(t *testing.T) {
 
 // TestRunCampaignReportsWilson checks the synchronous API carries the
 // confidence interval alongside Pf.
+// TestExecuteShardedCampaignFacade pins the public sharded surface: the
+// in-process sharded execution matches the synchronous path bit for bit,
+// and the shard planner covers [0,n) contiguously.
+func TestExecuteShardedCampaignFacade(t *testing.T) {
+	req := core.CampaignRequest{
+		Workload:         "excerptB",
+		Models:           []string{"sa0"},
+		Nodes:            8,
+		Seed:             3,
+		InjectAtFraction: 0.4,
+	}
+	want, err := core.ExecuteCampaign(context.Background(), req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ExecuteShardedCampaign(context.Background(), req, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Experiments) != len(got.Experiments) {
+		t.Fatalf("sharded %d experiments, unsharded %d", len(got.Experiments), len(want.Experiments))
+	}
+	for i := range want.Experiments {
+		if want.Experiments[i] != got.Experiments[i] {
+			t.Fatalf("experiment %d diverged: %+v vs %+v", i, got.Experiments[i], want.Experiments[i])
+		}
+	}
+	plan := core.PlanCampaignShards(10, 3)
+	if len(plan) != 3 || plan[0].Start != 0 || plan[2].End != 10 {
+		t.Fatalf("PlanCampaignShards(10,3) = %+v", plan)
+	}
+}
+
 func TestRunCampaignReportsWilson(t *testing.T) {
 	w, err := core.BuildWorkload("excerptA", core.WorkloadConfig{})
 	if err != nil {

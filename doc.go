@@ -29,4 +29,12 @@
 // scheduler is available in-process through core.NewJobService, and
 // `faultcampaign -json` emits the service's canonical result encoding so
 // CLI and server outputs are byte-for-byte diffable (DESIGN.md §7).
+//
+// Campaigns scale out by sharding: `faultserverd -shards N` splits each
+// campaign into deterministic experiment-range shards drained by
+// in-process workers and by remote `faultserverd -worker` processes
+// pulling leases over HTTP; results stay byte-identical to unsharded
+// runs, and a request with a nonzero epsilon stops adaptively once the
+// Wilson half-width around its progressive Pf converges (DESIGN.md §8,
+// core.ExecuteShardedCampaign, `faultcampaign -shards/-epsilon`).
 package repro

@@ -83,6 +83,70 @@ func TestCampaignContextComplete(t *testing.T) {
 	}
 }
 
+// TestCampaignStopContext pins the stop-rule contract behind adaptive
+// early stopping: the rule sees monotonically growing completion counts,
+// halting via it is a success (nil error) with a ran bitmap marking
+// exactly the completed prefix set, and experiments whose slot is unset
+// in the bitmap never executed.
+func TestCampaignStopContext(t *testing.T) {
+	w, err := workloads.Build("excerptA", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := Expand(r.Nodes(TargetIU), rtl.FaultModels()...)
+	if len(exps) < 32 {
+		t.Fatalf("want a large experiment set, got %d", len(exps))
+	}
+
+	const stopAt = 5
+	results, ran, err := r.CampaignStopContext(context.Background(), exps, 2, nil,
+		func(done, failures int) bool { return done >= stopAt })
+	if err != nil {
+		t.Fatalf("stop-rule halt returned %v, want nil", err)
+	}
+	completed := 0
+	for i, ok := range ran {
+		if ok {
+			completed++
+		} else if results[i] != (Result{}) {
+			t.Fatalf("experiment %d has a result but ran=false", i)
+		}
+	}
+	if completed < stopAt || completed > stopAt+2 {
+		t.Fatalf("%d experiments completed, want within one granule of %d", completed, stopAt)
+	}
+
+	// Unstopped: every experiment runs, bitmap all true, identical to the
+	// plain campaign.
+	small := Expand(SampleNodes(r.Nodes(TargetIU), 6, 3), rtl.StuckAt1)
+	got, ran2, err := r.CampaignStopContext(context.Background(), small, 3, nil,
+		func(done, failures int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range ran2 {
+		if !ok {
+			t.Fatalf("experiment %d never ran in unstopped campaign", i)
+		}
+		want := r.Campaign(small, 1)
+		if got[i] != want[i] {
+			t.Fatalf("experiment %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// External cancellation still reports ctx.Err, not a silent success.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.CampaignStopContext(ctx, small, 2, nil,
+		func(done, failures int) bool { return false }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+}
+
 func TestPfInterval(t *testing.T) {
 	results := []Result{
 		{Outcome: OutcomeMismatch},

@@ -422,14 +422,58 @@ func (r *Runner) Campaign(exps []Experiment, workers int) []Result {
 // index and result. It is called concurrently from worker goroutines and
 // must be safe for concurrent use.
 func (r *Runner) CampaignContext(ctx context.Context, exps []Experiment, workers int, tap func(i int, res Result)) ([]Result, error) {
+	results, _, err := r.CampaignStopContext(ctx, exps, workers, tap, nil)
+	return results, err
+}
+
+// CampaignStopContext is CampaignContext plus sequential early stopping
+// and completion tracking, the engine entry point of sharded and adaptive
+// campaigns. After every completed experiment the stop rule — when
+// non-nil — is consulted with the running completion and failure counts;
+// once it returns true the campaign halts within one experiment granule
+// per worker, exactly like a context cancellation, but with a nil error:
+// stopping adaptively is a successful outcome, not an abort.
+//
+// The returned ran bitmap marks which experiments actually executed, so
+// callers of a stopped or cancelled campaign can distinguish a completed
+// zero-valued Result from an experiment that never ran. ctx cancellation
+// still returns the partial results together with ctx.Err().
+func (r *Runner) CampaignStopContext(ctx context.Context, exps []Experiment, workers int, tap func(i int, res Result), stop func(done, failures int) bool) ([]Result, []bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(exps))
-	err := runIndexed(ctx, len(exps), workers, func(i int) {
+	ran := make([]bool, len(exps))
+	cctx := ctx
+	var cancel context.CancelFunc
+	if stop != nil {
+		cctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	var mu sync.Mutex
+	done, failures := 0, 0
+	err := runIndexed(cctx, len(exps), workers, func(i int) {
 		results[i] = r.RunOne(exps[i])
+		mu.Lock()
+		ran[i] = true
+		done++
+		if results[i].Outcome.IsFailure() {
+			failures++
+		}
+		d, f := done, failures
+		mu.Unlock()
 		if tap != nil {
 			tap(i, results[i])
 		}
+		if stop != nil && stop(d, f) {
+			cancel()
+		}
 	})
-	return results, err
+	if err != nil && ctx.Err() == nil {
+		// The halt came from the stop rule, not the caller: report success.
+		err = nil
+	}
+	return results, ran, err
 }
 
 // runIndexed dispatches n experiment indices across workers under ctx —

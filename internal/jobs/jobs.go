@@ -74,6 +74,14 @@ type Request struct {
 	// NoCheckpoint re-simulates every experiment from reset (engine
 	// debugging only; results are identical).
 	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
+	// Epsilon, when nonzero, enables adaptive early stopping: the campaign
+	// halts — and outstanding shards are cancelled — once the Wilson 95%
+	// half-width around the progressive Pf drops to Epsilon or below. The
+	// outcome then covers only the completed experiments (EarlyStopped is
+	// set and Requested records the planned total). Unlike scheduling
+	// knobs, Epsilon changes the result's content, so it participates in
+	// the content address.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // MaxIterations bounds a request's kernel iteration count. The largest
@@ -173,6 +181,13 @@ func (r Request) Normalize() (Request, error) {
 		// never consulted and must not fragment the cache key.
 		r.Seed = 0
 	}
+	// A Wilson half-width never exceeds 0.5, so epsilon at or above it
+	// would stop a campaign after its very first experiment — reject the
+	// degenerate request rather than cache a one-experiment "campaign".
+	// NaN would pass the range checks and poison the content address.
+	if math.IsNaN(r.Epsilon) || r.Epsilon < 0 || r.Epsilon >= 0.5 {
+		return r, fmt.Errorf("jobs: epsilon %v outside [0,0.5)", r.Epsilon)
+	}
 	return r, nil
 }
 
@@ -220,10 +235,17 @@ type ExperimentOutcome struct {
 // only the campaign's content. Identical requests produce byte-identical
 // encodings.
 type Outcome struct {
-	Request          Request             `json:"request"`
-	Injections       int                 `json:"injections"`
-	GoldenCycles     uint64              `json:"golden_cycles"`
-	Checkpointed     bool                `json:"checkpointed"`
+	Request      Request `json:"request"`
+	Injections   int     `json:"injections"`
+	GoldenCycles uint64  `json:"golden_cycles"`
+	Checkpointed bool    `json:"checkpointed"`
+	// EarlyStopped marks an adaptive campaign that halted once its Wilson
+	// half-width reached the request's epsilon; Requested then records the
+	// planned experiment count (Injections covers only completed ones).
+	// Both fields are omitted from campaigns that ran to completion, so
+	// the encoding of a full run is unchanged by their existence.
+	EarlyStopped     bool                `json:"early_stopped,omitempty"`
+	Requested        int                 `json:"requested,omitempty"`
 	Pf               float64             `json:"pf"`
 	PfLow            float64             `json:"pf_low"`
 	PfHigh           float64             `json:"pf_high"`
@@ -243,36 +265,69 @@ func EncodeOutcome(w io.Writer, o *Outcome) error {
 	return enc.Encode(o)
 }
 
-// outcomeFrom assembles the canonical encoding from raw campaign results.
-func outcomeFrom(req Request, r *fault.Runner, results []fault.Result) *Outcome {
-	lo, hi := fault.PfInterval(results, stats.Z95)
+// experimentOutcome is the wire encoding of one raw engine result.
+func experimentOutcome(res fault.Result) ExperimentOutcome {
+	return ExperimentOutcome{
+		Node:    res.Fault.Node.String(),
+		Model:   res.Fault.Model.String(),
+		Unit:    res.Unit.String(),
+		Outcome: res.Outcome.String(),
+		Latency: res.Latency,
+		Cycles:  res.Cycles,
+	}
+}
+
+// noEffect is the one outcome string that does not count as a propagated
+// failure; everything else manifests at the off-core boundary.
+var noEffect = fault.OutcomeNoEffect.String()
+
+// outcomeHang excludes unbounded latencies from the max-latency metric,
+// mirroring fault.MaxLatency.
+var outcomeHang = fault.OutcomeHang.String()
+
+// assembleOutcome builds the canonical result encoding from wire-encoded
+// experiments. It is the single merge path shared by unsharded execution,
+// the in-process shard pool and remote shard workers: every aggregate —
+// Pf, Wilson interval, failure count, per-unit Pf, outcome tallies, max
+// latency — is recomputed from the experiment array alone, so any
+// partition of a campaign into shards that reassembles the same array
+// yields byte-identical output. requested is the planned experiment
+// count; when the array is shorter the campaign stopped early and the
+// outcome says so.
+func assembleOutcome(req Request, goldenCycles uint64, checkpointed bool, requested int, exps []ExperimentOutcome) *Outcome {
 	out := &Outcome{
 		Request:          req,
-		Injections:       len(results),
-		GoldenCycles:     r.GoldenCycles,
-		Checkpointed:     r.Checkpointed(),
-		Pf:               fault.Pf(results),
-		PfLow:            lo,
-		PfHigh:           hi,
-		Failures:         fault.Failures(results),
-		MaxLatencyCycles: fault.MaxLatency(results),
+		Injections:       len(exps),
+		GoldenCycles:     goldenCycles,
+		Checkpointed:     checkpointed,
+		MaxLatencyCycles: -1,
 		Outcomes:         map[string]int{},
 		PfByUnit:         map[string]float64{},
-		Experiments:      make([]ExperimentOutcome, len(results)),
+		Experiments:      exps,
 	}
-	for i, res := range results {
-		out.Outcomes[res.Outcome.String()]++
-		out.Experiments[i] = ExperimentOutcome{
-			Node:    res.Fault.Node.String(),
-			Model:   res.Fault.Model.String(),
-			Unit:    res.Unit.String(),
-			Outcome: res.Outcome.String(),
-			Latency: res.Latency,
-			Cycles:  res.Cycles,
+	if len(exps) < requested {
+		out.EarlyStopped = true
+		out.Requested = requested
+	}
+	unitTotal := map[string]int{}
+	unitFail := map[string]int{}
+	for _, e := range exps {
+		out.Outcomes[e.Outcome]++
+		unitTotal[e.Unit]++
+		if e.Outcome != noEffect {
+			out.Failures++
+			unitFail[e.Unit]++
+		}
+		if e.Outcome != outcomeHang && e.Latency > out.MaxLatencyCycles {
+			out.MaxLatencyCycles = e.Latency
 		}
 	}
-	for u, pf := range fault.PfByUnit(results) {
-		out.PfByUnit[u.String()] = pf
+	if len(exps) > 0 {
+		out.Pf = float64(out.Failures) / float64(len(exps))
+	}
+	out.PfLow, out.PfHigh = stats.WilsonCI(out.Failures, len(exps), stats.Z95)
+	for u, n := range unitTotal {
+		out.PfByUnit[u] = float64(unitFail[u]) / float64(n)
 	}
 	return out
 }
@@ -336,14 +391,34 @@ func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
 	}
 }
 
+// experimentsFor returns the campaign's deterministic experiment
+// expansion: the sampled (or exhaustive) node set crossed with the
+// requested fault models, in canonical order. Every shard of a campaign
+// and its unsharded execution expand the identical list, which is what
+// makes experiment-index ranges a sound shard currency.
+func experimentsFor(r *fault.Runner, n Request) []fault.Experiment {
+	nodes := r.Nodes(n.target())
+	if n.Nodes > 0 {
+		nodes = fault.SampleNodes(nodes, n.Nodes, n.Seed)
+	}
+	models := make([]rtl.FaultModel, len(n.Models))
+	for i, name := range n.Models {
+		models[i], _ = parseModel(name) // validated by Normalize
+	}
+	return fault.Expand(nodes, models...)
+}
+
 // Execute runs one campaign request synchronously on the process-wide
 // memoized runner cache and returns its canonical outcome. Cancellation
 // via ctx stops the engine within one experiment granule and returns
 // ctx.Err(). tap, when non-nil, observes per-experiment completions.
+// A request with a nonzero Epsilon stops adaptively once the Wilson
+// half-width around the progressive Pf reaches it.
 //
 // This is the single execution path behind the job service's workers and
 // `faultcampaign -json`: both produce bit-identical outcomes by
-// construction.
+// construction. Sharded execution (ShardPool, ExecuteSharded) reassembles
+// the same per-experiment array and therefore the same bytes.
 func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error) {
 	n, err := req.Normalize()
 	if err != nil {
@@ -353,22 +428,20 @@ func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, 
 	if err != nil {
 		return nil, err
 	}
-	nodes := r.Nodes(n.target())
-	if n.Nodes > 0 {
-		nodes = fault.SampleNodes(nodes, n.Nodes, n.Seed)
-	}
-	models := make([]rtl.FaultModel, len(n.Models))
-	for i, name := range n.Models {
-		models[i], _ = parseModel(name) // validated by Normalize
-	}
-	exps := fault.Expand(nodes, models...)
+	exps := experimentsFor(r, n)
 
 	var mu sync.Mutex
 	done, failures := 0, 0
 	if tap != nil {
 		tap(0, len(exps), 0)
 	}
-	results, err := r.CampaignContext(ctx, exps, workers, func(i int, res fault.Result) {
+	var stop func(done, failures int) bool
+	if n.Epsilon > 0 {
+		stop = func(done, failures int) bool {
+			return campaign.Tally{Done: done, Failures: failures}.Converged(n.Epsilon, stats.Z95)
+		}
+	}
+	results, ran, err := r.CampaignStopContext(ctx, exps, workers, func(i int, res fault.Result) {
 		if tap == nil {
 			return
 		}
@@ -379,9 +452,75 @@ func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, 
 		}
 		tap(done, len(exps), failures)
 		mu.Unlock()
-	})
+	}, stop)
 	if err != nil {
 		return nil, err
 	}
-	return outcomeFrom(n, r, results), nil
+	out := make([]ExperimentOutcome, 0, len(results))
+	for i, res := range results {
+		if ran[i] {
+			out = append(out, experimentOutcome(res))
+		}
+	}
+	return assembleOutcome(n, r.GoldenCycles, r.Checkpointed(), len(exps), out), nil
+}
+
+// ShardOutput is what one executed experiment-range shard reports back:
+// the golden-run metadata (identical across the shards of one campaign —
+// the coordinator cross-checks it), the absolute experiment indices that
+// completed, and their outcomes. A cancelled or early-stopped shard
+// reports the subset it finished; a complete shard reports its full
+// range.
+type ShardOutput struct {
+	GoldenCycles uint64              `json:"golden_cycles"`
+	Checkpointed bool                `json:"checkpointed"`
+	Indices      []int               `json:"indices"`
+	Experiments  []ExperimentOutcome `json:"experiments"`
+}
+
+// ExecuteShard runs experiments [start,end) of a campaign's deterministic
+// expansion on the process-wide memoized runner cache. It is the worker
+// side of the shard protocol: in-process shard workers and remote
+// `faultserverd -worker` processes both execute leases through it. On ctx
+// cancellation the partial output is returned together with ctx.Err() so
+// the caller can still fold the completed experiments. tap observes
+// shard-local completions (done counts shard experiments, total is the
+// shard size).
+func ExecuteShard(ctx context.Context, req Request, start, end, workers int, tap Tap) (*ShardOutput, error) {
+	n, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	r, err := runnerFor(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	exps := experimentsFor(r, n)
+	if start < 0 || end > len(exps) || start > end {
+		return nil, fmt.Errorf("jobs: shard range [%d,%d) outside campaign of %d experiments", start, end, len(exps))
+	}
+	slice := exps[start:end]
+
+	var mu sync.Mutex
+	done, failures := 0, 0
+	results, ran, err := r.CampaignStopContext(ctx, slice, workers, func(i int, res fault.Result) {
+		if tap == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		if res.Outcome.IsFailure() {
+			failures++
+		}
+		tap(done, len(slice), failures)
+		mu.Unlock()
+	}, nil)
+	so := &ShardOutput{GoldenCycles: r.GoldenCycles, Checkpointed: r.Checkpointed()}
+	for i, res := range results {
+		if ran[i] {
+			so.Indices = append(so.Indices, start+i)
+			so.Experiments = append(so.Experiments, experimentOutcome(res))
+		}
+	}
+	return so, err
 }

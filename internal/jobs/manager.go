@@ -54,8 +54,25 @@ type ManagerOptions struct {
 	// including their cache entries — so a long-running daemon's memory
 	// stays bounded. In-flight jobs are never evicted. Default 512.
 	MaxJobs int
-	// Executor overrides the campaign executor; nil selects Execute.
-	// Tests substitute deterministic or blocking executors here.
+	// Shards, when above 1, executes every campaign through a shard pool:
+	// the campaign is split into that many deterministic experiment-range
+	// shards, drained by in-process shard workers and by any remote
+	// workers pulling leases over the HTTP shard surface. Results are
+	// bit-identical to unsharded execution (sharding is scheduling, not
+	// content), so Shards deliberately does not participate in request
+	// content addresses.
+	Shards int
+	// ShardLocalWorkers bounds the in-process shard executors per
+	// campaign: 0 selects CampaignWorkers (GOMAXPROCS when that is also
+	// unset), -1 disables local execution so shards are served only to
+	// remote workers.
+	ShardLocalWorkers int
+	// ShardLeaseTTL is how long a silent shard lease pins its shard
+	// before it is reclaimed for another worker. Default 2 minutes.
+	ShardLeaseTTL time.Duration
+	// Executor overrides the campaign executor; nil selects Execute (or
+	// the shard pool's Execute when Shards > 1). Tests substitute
+	// deterministic or blocking executors here.
 	Executor func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
 }
 
@@ -113,6 +130,7 @@ type job struct {
 type Manager struct {
 	opts ManagerOptions
 	exec func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
+	pool *ShardPool // non-nil when opts.Shards > 1 selected sharded execution
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -148,7 +166,16 @@ func NewManager(opts ManagerOptions) *Manager {
 		byKey: map[string]*job{},
 	}
 	if m.exec == nil {
-		m.exec = Execute
+		if opts.Shards > 1 {
+			m.pool = NewShardPool(ShardPoolOptions{
+				Shards:       opts.Shards,
+				LocalWorkers: opts.ShardLocalWorkers,
+				LeaseTTL:     opts.ShardLeaseTTL,
+			})
+			m.exec = m.pool.Execute
+		} else {
+			m.exec = Execute
+		}
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
@@ -285,6 +312,11 @@ func (m *Manager) ManagerStats() Stats {
 	defer m.mu.Unlock()
 	return m.stats
 }
+
+// ShardPool returns the manager's shard pool, or nil when sharded
+// execution is not enabled. The HTTP layer serves shard leases to remote
+// workers through it.
+func (m *Manager) ShardPool() *ShardPool { return m.pool }
 
 // Cancel stops a job and returns its status as of the cancellation: a
 // queued job is cancelled immediately, a running one has its context

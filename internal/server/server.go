@@ -19,12 +19,28 @@
 //	DELETE /campaigns/{id}       cancel a queued or running job
 //	GET    /workloads            bundled workload names
 //	GET    /healthz              liveness plus scheduler counters
+//
+// When the manager runs a shard pool, four more endpoints serve the
+// shard protocol to remote `faultserverd -worker` processes:
+//
+//	POST   /shards/lease           pull the next experiment-range shard
+//	                               (200 with a jobs.ShardLease, or 204
+//	                               when no campaign has pending shards)
+//	POST   /shards/{lease}/progress report an in-flight tally; the reply
+//	                               says whether to cancel the shard
+//	POST   /shards/{lease}/complete submit the shard's outcomes
+//	POST   /shards/{lease}/fail    release the shard after a local error
+//
+// Sharding is scheduling, not content: shard-executed campaigns return
+// byte-identical results to unsharded ones.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 
 	"repro/internal/jobs"
 	"repro/internal/workloads"
@@ -34,6 +50,13 @@ import (
 type Server struct {
 	mgr *jobs.Manager
 	mux *http.ServeMux
+
+	// Stream lifecycle: Drain waits for in-flight NDJSON progress streams
+	// to flush their terminal snapshots before the daemon closes its
+	// listener, so clients see clean EOFs instead of connection resets.
+	streamMu sync.Mutex
+	draining bool
+	streams  sync.WaitGroup
 }
 
 // New builds the HTTP front end of a job manager.
@@ -47,11 +70,49 @@ func New(mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.cancel)
 	s.mux.HandleFunc("GET /api/v1/workloads", s.workloads)
 	s.mux.HandleFunc("GET /api/v1/healthz", s.healthz)
+	s.mux.HandleFunc("POST /api/v1/shards/lease", s.shardLease)
+	s.mux.HandleFunc("POST /api/v1/shards/{lease}/progress", s.shardProgress)
+	s.mux.HandleFunc("POST /api/v1/shards/{lease}/complete", s.shardComplete)
+	s.mux.HandleFunc("POST /api/v1/shards/{lease}/fail", s.shardFail)
 	return s
 }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain marks the server as shutting down — new stream subscriptions are
+// refused with 503 — and waits for every in-flight NDJSON progress
+// stream to finish flushing (or ctx to expire). Call it after closing
+// the job manager (which terminates the jobs the streams are watching)
+// and before http.Server.Shutdown, so the connections Shutdown waits on
+// have already gone idle and no stream is cut mid-line.
+func (s *Server) Drain(ctx context.Context) error {
+	s.streamMu.Lock()
+	s.draining = true
+	s.streamMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.streams.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// beginStream registers a live stream unless the server is draining.
+func (s *Server) beginStream() bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.streams.Add(1)
+	return true
+}
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -156,6 +217,12 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 // client disconnects. The last line is always the terminal snapshot
 // unless the client left first.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	if !s.beginStream() {
+		writeErr(w, http.StatusServiceUnavailable,
+			errors.New("server: shutting down, not accepting new streams"))
+		return
+	}
+	defer s.streams.Done()
 	ch, unsub, err := s.mgr.Watch(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, errCode(err), err)
@@ -192,8 +259,126 @@ func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Status string           `json:"status"`
+		Stats  jobs.Stats       `json:"stats"`
+		Shards *jobs.ShardStats `json:"shards,omitempty"`
+	}{Status: "ok", Stats: s.mgr.ManagerStats()}
+	if pool := s.mgr.ShardPool(); pool != nil {
+		st := pool.Stats()
+		resp.Shards = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pool resolves the manager's shard pool, answering 404 when sharded
+// execution is not enabled on this daemon.
+func (s *Server) pool(w http.ResponseWriter) *jobs.ShardPool {
+	p := s.mgr.ShardPool()
+	if p == nil {
+		writeErr(w, http.StatusNotFound, jobs.ErrNoShards)
+	}
+	return p
+}
+
+// shardLease hands the next pending shard of any active campaign to a
+// remote worker: 200 with the lease, or 204 when nothing is pending.
+func (s *Server) shardLease(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w)
+	if p == nil {
+		return
+	}
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Worker == "" {
+		req.Worker = "remote"
+	}
+	lease, ok := p.Lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+// shardProgress folds a worker's in-flight tally. The reply's cancel
+// field tells the worker to stop the shard (the campaign converged, was
+// cancelled, or no longer tracks this lease) and submit what it has.
+func (s *Server) shardProgress(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w)
+	if p == nil {
+		return
+	}
+	var req struct {
+		Done     int `json:"done"`
+		Failures int `json:"failures"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cancel := p.Progress(r.PathValue("lease"), req.Done, req.Failures)
 	writeJSON(w, http.StatusOK, struct {
-		Status string     `json:"status"`
-		Stats  jobs.Stats `json:"stats"`
-	}{Status: "ok", Stats: s.mgr.ManagerStats()})
+		Cancel bool `json:"cancel"`
+	}{Cancel: cancel})
+}
+
+// shardComplete merges a finished (or stop-cancelled partial) shard.
+// 410 Gone tells the worker its lease expired and the work was redone
+// elsewhere — discard and move on.
+func (s *Server) shardComplete(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w)
+	if p == nil {
+		return
+	}
+	var out jobs.ShardOutput
+	// A shard of a large campaign carries per-experiment outcomes; size
+	// the bound like a result payload, not a control message.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&out); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err := p.Complete(jobs.ShardResult{Lease: r.PathValue("lease"), Output: out})
+	switch {
+	case errors.Is(err, jobs.ErrNoLease):
+		writeErr(w, http.StatusGone, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, struct{}{})
+	}
+}
+
+// shardFail releases a lease after a worker-side error so the shard can
+// be re-leased; the worker keeps polling for new work afterwards.
+func (s *Server) shardFail(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w)
+	if p == nil {
+		return
+	}
+	var req struct {
+		Error string `json:"error"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err := p.Fail(r.PathValue("lease"), req.Error)
+	switch {
+	case errors.Is(err, jobs.ErrNoLease):
+		writeErr(w, http.StatusGone, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, struct{}{})
+	}
 }

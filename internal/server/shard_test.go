@@ -1,0 +1,235 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// shardReq is a campaign worth sharding: 24 nodes x 3 models.
+var shardReq = jobs.Request{
+	Workload:         "excerptA",
+	Target:           "iu",
+	Nodes:            24,
+	Seed:             1,
+	InjectAtFraction: 0.3,
+}
+
+// TestShardEndpointsDisabled: a daemon without a shard pool answers the
+// shard surface with 404 so misconfigured workers fail loudly.
+func TestShardEndpointsDisabled(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.ManagerOptions{Concurrency: 1})
+	resp, err := http.Post(ts.URL+"/api/v1/shards/lease", "application/json",
+		strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("lease on unsharded daemon: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRemoteWorkerEndToEnd is the full distributed path in one process:
+// a remote-only coordinator (no local shard execution) serves a
+// campaign's shards over HTTP to three server.Worker loops, and the
+// merged result is byte-identical to unsharded execution.
+func TestRemoteWorkerEndToEnd(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.ManagerOptions{
+		Concurrency:       1,
+		Shards:            5,
+		ShardLocalWorkers: -1, // every shard must travel over HTTP
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		w := &server.Worker{
+			Coordinator: ts.URL,
+			Name:        []string{"w1", "w2", "w3"}[i],
+			Workers:     2,
+			Poll:        10 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+
+	resp, st := post(t, ts.URL, shardReq)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer wcancel()
+	final, err := mgr.Wait(wctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	code, body := get(t, ts.URL+"/api/v1/campaigns/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	want, err := jobs.Execute(context.Background(), shardReq, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jobs.EncodeOutcome(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, buf.Bytes()) {
+		t.Fatalf("remote-worker result diverged from unsharded execution:\n--- server\n%s\n--- unsharded\n%s", body, buf.Bytes())
+	}
+
+	// The pool's accounting surfaces through healthz.
+	code, hb := get(t, ts.URL+"/api/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	var health struct {
+		Shards *jobs.ShardStats `json:"shards"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Shards == nil || health.Shards.Completed != 5 {
+		t.Fatalf("healthz shards = %+v, want 5 completed", health.Shards)
+	}
+	if len(health.Shards.Workers) == 0 {
+		t.Fatal("healthz shards missing worker tallies")
+	}
+}
+
+// TestShardProtocolEdges exercises the HTTP mapping of lease errors: an
+// unknown lease completes with 410 Gone, progress on it asks the worker
+// to cancel, and a malformed body is a 400.
+func TestShardProtocolEdges(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.ManagerOptions{
+		Concurrency:       1,
+		Shards:            2,
+		ShardLocalWorkers: -1,
+	})
+	resp, err := http.Post(ts.URL+"/api/v1/shards/nope/complete", "application/json",
+		strings.NewReader(`{"indices":[],"experiments":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("unknown lease complete: HTTP %d, want 410", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/shards/nope/progress", "application/json",
+		strings.NewReader(`{"done":1,"failures":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Cancel bool `json:"cancel"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !rep.Cancel {
+		t.Fatalf("unknown lease progress: HTTP %d cancel=%v, want 200 cancel=true", resp.StatusCode, rep.Cancel)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/shards/lease", "application/json",
+		strings.NewReader(`{bad json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed lease body: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDrainStreams pins the shutdown ordering fix: after the manager
+// closes, Drain waits for in-flight NDJSON streams to flush their
+// terminal snapshot, and new stream subscriptions are refused with 503
+// instead of racing the closing listener.
+func TestDrainStreams(t *testing.T) {
+	release := make(chan struct{})
+	mgr := jobs.NewManager(jobs.ManagerOptions{
+		Concurrency: 1,
+		Executor: func(ctx context.Context, req jobs.Request, workers int, tap jobs.Tap) (*jobs.Outcome, error) {
+			tap(0, 2, 0)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		},
+	})
+	srv := server.New(mgr)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+
+	_, st := post(t, ts.URL, small)
+
+	// Open a live stream and prove it is attached (first snapshot read).
+	resp, err := http.Get(ts.URL + "/api/v1/campaigns/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	first := make([]byte, 1)
+	if _, err := resp.Body.Read(first); err != nil {
+		t.Fatal(err)
+	}
+
+	streamDone := make(chan error, 1)
+	go func() {
+		// Drain the rest of the stream; a clean EOF (no reset) is the fix.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				streamDone <- err
+				return
+			}
+		}
+	}()
+
+	// Shut down in the daemon's order: manager first (ends the job and
+	// the watcher), then drain the streams.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		mgr.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case err := <-streamDone:
+		if err.Error() != "EOF" {
+			t.Fatalf("stream ended with %v, want clean EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still open after Drain returned")
+	}
+
+	// New subscriptions are refused while draining.
+	resp2, err := http.Get(ts.URL + "/api/v1/campaigns/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream during drain: HTTP %d, want 503", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Worker is the pull side of the shard protocol: the loop behind
+// `faultserverd -worker -coordinator=URL`. It polls the coordinator for
+// experiment-range shards, executes each on the process-wide pooled
+// fault runner (the golden run of a campaign is simulated once per
+// worker process and reused across its shards), streams throttled
+// partial tallies back, and submits the per-experiment outcomes.
+//
+// The loop is crash-only by design: a worker that dies mid-shard simply
+// stops reporting, and the coordinator requeues the shard once its
+// lease TTL expires. Conversely a worker whose coordinator disappears
+// (progress answers cancel, or complete answers 410 Gone) abandons the
+// shard and keeps polling.
+type Worker struct {
+	// Coordinator is the coordinator daemon's base URL
+	// (e.g. http://127.0.0.1:8080).
+	Coordinator string
+	// Name identifies the worker in leases and pool statistics.
+	Name string
+	// Workers bounds the intra-shard experiment parallelism
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Poll is the idle re-poll interval when the coordinator has no
+	// pending shards. Default 250ms.
+	Poll time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Log, when non-nil, receives worker lifecycle messages.
+	Log *log.Logger
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Log != nil {
+		w.Log.Printf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 250 * time.Millisecond
+}
+
+// Run pulls and executes shards until ctx is cancelled. Transient
+// coordinator errors (connection refused, 5xx) back off and retry —
+// workers are expected to outlive coordinator restarts.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := w.poll()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.lease()
+		if err != nil {
+			w.logf("lease: %v (retrying in %v)", err, backoff)
+			if !sleep(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = w.poll()
+		if lease == nil {
+			if !sleep(ctx, w.poll()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.runShard(ctx, lease)
+	}
+}
+
+// sleep waits d or until ctx dies; it reports whether ctx is still live.
+func sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runShard executes one leased shard and reports it back.
+func (w *Worker) runShard(ctx context.Context, lease *jobs.ShardLease) {
+	w.logf("shard %d [%d,%d) of campaign %.12s", lease.Range.Index, lease.Range.Start, lease.Range.End, lease.Key)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Throttle progress reports to ~16 per shard plus the first one, so
+	// a large campaign doesn't turn into an HTTP request per experiment.
+	stride := (lease.Range.End-lease.Range.Start)/16 + 1
+	var mu sync.Mutex
+	lastDone, lastFailures := 0, 0
+	report := func(done, failures int) {
+		// Serialize reports: ExecuteShard's tap is already serialized,
+		// but the HTTP round trip must not reorder tallies.
+		mu.Lock()
+		defer mu.Unlock()
+		if w.progress(lease.Lease, done, failures) {
+			cancel()
+		}
+	}
+	// Keepalive: the golden-run simulation and long experiments produce
+	// no taps; refresh the lease inside the coordinator's TTL so a live
+	// worker never loses its shard to the reclaim janitor.
+	kaStop := make(chan struct{})
+	defer close(kaStop)
+	go func() {
+		tick := time.NewTicker(jobs.KeepaliveInterval(time.Duration(lease.LeaseTTLSeconds * float64(time.Second))))
+		defer tick.Stop()
+		for {
+			select {
+			case <-kaStop:
+				return
+			case <-sctx.Done():
+				return
+			case <-tick.C:
+				mu.Lock()
+				d, f := lastDone, lastFailures
+				mu.Unlock()
+				report(d, f)
+			}
+		}
+	}()
+	out, err := jobs.ExecuteShard(sctx, lease.Request, lease.Range.Start, lease.Range.End, w.Workers,
+		func(done, total, failures int) {
+			mu.Lock()
+			lastDone, lastFailures = done, failures
+			mu.Unlock()
+			if done != 1 && done != total && done%stride != 0 {
+				return
+			}
+			report(done, failures)
+		})
+	if out == nil {
+		// The engine never produced anything (runner build failure or the
+		// worker's own shutdown): release the lease for someone else.
+		w.logf("shard %d failed: %v", lease.Range.Index, err)
+		w.fail(lease.Lease, fmt.Sprintf("%v", err))
+		return
+	}
+	// Completed, cancelled by the coordinator's stop rule, or the worker
+	// is shutting down mid-shard: submit what ran. The coordinator folds
+	// a partial once the campaign has stopped and requeues it otherwise.
+	w.complete(lease.Lease, out)
+}
+
+// lease asks for the next shard; nil without error means no work.
+func (w *Worker) lease() (*jobs.ShardLease, error) {
+	body, _ := json.Marshal(struct {
+		Worker string `json:"worker"`
+	}{Worker: w.Name})
+	resp, err := w.post(w.Coordinator+"/api/v1/shards/lease", body)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var lease jobs.ShardLease
+		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+			return nil, err
+		}
+		return &lease, nil
+	default:
+		return nil, fmt.Errorf("lease: HTTP %d", resp.StatusCode)
+	}
+}
+
+// progress reports a tally; true means cancel the shard.
+func (w *Worker) progress(lease string, done, failures int) (cancel bool) {
+	body, _ := json.Marshal(struct {
+		Done     int `json:"done"`
+		Failures int `json:"failures"`
+	}{Done: done, Failures: failures})
+	resp, err := w.post(w.Coordinator+"/api/v1/shards/"+lease+"/progress", body)
+	if err != nil {
+		// A transient network error is not a cancellation: keep computing
+		// and let the next report (or the TTL) sort it out.
+		w.logf("progress: %v", err)
+		return false
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return true
+	}
+	var rep struct {
+		Cancel bool `json:"cancel"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return false
+	}
+	return rep.Cancel
+}
+
+// complete submits a shard's outcomes.
+func (w *Worker) complete(lease string, out *jobs.ShardOutput) {
+	body, err := json.Marshal(out)
+	if err != nil {
+		w.logf("complete: %v", err)
+		return
+	}
+	resp, err := w.post(w.Coordinator+"/api/v1/shards/"+lease+"/complete", body)
+	if err != nil {
+		w.logf("complete: %v (shard will be requeued by the lease TTL)", err)
+		return
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		w.logf("complete: HTTP %d", resp.StatusCode)
+	}
+}
+
+// fail releases a lease after a worker-side error.
+func (w *Worker) fail(lease, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	resp, err := w.post(w.Coordinator+"/api/v1/shards/"+lease+"/fail", body)
+	if err != nil {
+		w.logf("fail: %v", err)
+		return
+	}
+	drain(resp)
+}
+
+func (w *Worker) post(url string, body []byte) (*http.Response, error) {
+	// Reports must still reach the coordinator while the worker's own
+	// ctx is shutting down (the final partial complete), so requests run
+	// on a short independent timeout instead of ctx.
+	rctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases the request's timeout context with its body.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	b.cancel()
+	return b.ReadCloser.Close()
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -142,6 +142,17 @@ func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// HalfWidth returns half the width of the Wilson score interval around
+// the observed proportion: the sequential-stopping statistic of adaptive
+// campaigns. A campaign that stops once HalfWidth drops below a requested
+// epsilon guarantees its final Pf estimate is within ±epsilon of any true
+// failure probability the sample remains compatible with. With no trials
+// the vacuous interval [0,1] gives 0.5.
+func HalfWidth(successes, trials int, z float64) float64 {
+	lo, hi := WilsonCI(successes, trials, z)
+	return (hi - lo) / 2
+}
+
 // Pearson returns the Pearson correlation coefficient.
 func Pearson(xs, ys []float64) (float64, error) {
 	n := len(xs)

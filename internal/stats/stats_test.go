@@ -137,6 +137,32 @@ func TestWilsonCIEdges(t *testing.T) {
 	}
 }
 
+func TestHalfWidth(t *testing.T) {
+	// No trials: the vacuous [0,1] interval has half-width 0.5.
+	if hw := HalfWidth(0, 0, 1.96); hw != 0.5 {
+		t.Errorf("HalfWidth(0,0) = %v, want 0.5", hw)
+	}
+	// z=0 collapses to the point estimate: zero width.
+	if hw := HalfWidth(3, 10, 0); hw != 0 {
+		t.Errorf("HalfWidth(z=0) = %v, want 0", hw)
+	}
+	// Consistency with WilsonCI at a known value.
+	lo, hi := WilsonCI(25, 100, 1.96)
+	if hw := HalfWidth(25, 100, 1.96); !close(hw, (hi-lo)/2, 1e-15) {
+		t.Errorf("HalfWidth = %v, want %v", hw, (hi-lo)/2)
+	}
+	// The statistic shrinks as the sample grows at fixed proportion; this
+	// monotone narrowing is what makes the epsilon stop rule terminate.
+	prev := math.Inf(1)
+	for _, n := range []int{10, 40, 160, 640} {
+		hw := HalfWidth(n/4, n, 1.96)
+		if hw >= prev {
+			t.Errorf("HalfWidth(n=%d) = %v, not narrower than %v", n, hw, prev)
+		}
+		prev = hw
+	}
+}
+
 func TestPearsonSigns(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	up := []float64{2, 4, 6, 8, 10}
