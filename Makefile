@@ -38,10 +38,14 @@ bench-json-smoke:
 # Benchmark-regression gate: measure the speed-critical benchmarks (the
 # engine throughput set: RTL cycles/s, ISS inst/s, campaign exp/s) and
 # fail if any throughput metric regresses more than BENCH_TOLERANCE
-# against the committed BENCH_PR2.json baseline.
+# against the committed BENCH_PR2.json baseline. CampaignTransient is
+# measured alongside so transient-model throughput is tracked in every
+# gate run; absent from the committed baseline it cannot regress the
+# permanent numbers (the gate only compares metrics present on both
+# sides), and it joins the gate when the baseline is next refreshed.
 bench-check:
 	$(GO) run ./cmd/benchjson \
-		-bench '^Benchmark(RTLExecution|ISSExecution|CampaignCheckpointed|CampaignFromReset)$$' \
+		-bench '^Benchmark(RTLExecution|ISSExecution|CampaignCheckpointed|CampaignFromReset|CampaignTransient)$$' \
 		-benchtime 2s -out - -baseline BENCH_PR2.json -max-regress $(BENCH_TOLERANCE)
 
 # Hermetic service smoke: builds faultserverd and faultcampaign, boots

@@ -231,6 +231,37 @@ func BenchmarkCampaignFromReset(b *testing.B) {
 	benchmarkCampaignEngine(b, true)
 }
 
+// BenchmarkCampaignTransient times the transient-model engine: SEU
+// bit-flips and 2-cycle SET pulses with per-experiment injection cycles
+// scheduled across the golden run, forked from the same checkpoint the
+// permanent campaigns use. Its exp/s rides the bench-check gate next to
+// the permanent baseline, so transient throughput is tracked without
+// perturbing the committed permanent numbers.
+func BenchmarkCampaignTransient(b *testing.B) {
+	w, err := workloads.Build("rspeed", workloads.Config{Iterations: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := fault.NewRunner(w.Program, fault.Options{
+		InjectAtFraction: 0.5,
+		PulseCycles:      2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), 48, 1)
+	exps := fault.Expand(nodes, rtl.BitFlip, rtl.SETPulse)
+	r.ScheduleTransients(exps, 1)
+	r.PrepareCheckpoint() // capture outside the timed region
+	var pf float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf = fault.Pf(r.Campaign(exps, 0))
+	}
+	b.ReportMetric(100*pf, "Pf-%")
+	b.ReportMetric(float64(len(exps))*float64(b.N)/b.Elapsed().Seconds(), "exp/s")
+}
+
 // BenchmarkSingleInjection measures the cost of one fault experiment.
 func BenchmarkSingleInjection(b *testing.B) {
 	w, err := workloads.Build("excerptB", workloads.Config{})

@@ -6,6 +6,13 @@
 //
 //	faultcampaign -w ttsprk -target iu -model sa1 -nodes 256 -seed 1
 //
+// -models (alias -model) takes a comma-separated list of fault models:
+// the permanent sa0, sa1 and open, the transient seu (single-event
+// bit-flip) and set (glitch pulse; width via -pulse), or "all" for the
+// paper's permanent trio. Transient injection instants are sampled
+// deterministically per experiment from -seed over the window between
+// the fixed injection instant and the end of the golden run.
+//
 // With -json the campaign is executed through the same canonical path the
 // campaign job server uses and the result is emitted in the service's
 // deterministic encoding, so CLI output and `faultserverd` responses are
@@ -43,8 +50,9 @@ func main() {
 		iters   = flag.Int("iters", 2, "kernel iterations")
 		dataset = flag.Int("dataset", 0, "input dataset selector")
 		target  = flag.String("target", "iu", "injection target: iu or cmem")
-		model   = flag.String("model", "all", "fault model: sa0, sa1, open or all")
+		model   = flag.String("model", "all", "comma-separated fault models: sa0, sa1, open, seu, set or all (= sa0,sa1,open)")
 		nodes   = flag.Int("nodes", 256, "node sample size (0 = exhaustive)")
+		pulse   = flag.Uint64("pulse", 0, "set-pulse glitch width in cycles (0 = 1; only with the set model)")
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		inject  = flag.Uint64("inject-at", 0, "injection instant (cycle)")
@@ -54,6 +62,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "split the campaign into this many experiment-range shards on in-process workers (0/1 = unsharded)")
 		epsilon = flag.Float64("epsilon", 0, "adaptive early stop once the Wilson 95% half-width around Pf reaches this (0 = run to completion)")
 	)
+	flag.Var(aliasValue{model}, "models", "alias for -model (comma-separated fault model list)")
 	flag.Parse()
 
 	if *asJSON || *shards > 1 || *epsilon > 0 {
@@ -87,8 +96,9 @@ func main() {
 		if *model != "all" {
 			// Unknown names are rejected by the request normalization
 			// inside Execute, keeping one canonical model list.
-			req.Models = []string{*model}
+			req.Models = splitModels(*model)
 		}
+		req.PulseCycles = *pulse
 		t0 := time.Now()
 		var out *jobs.Outcome
 		var err error
@@ -118,6 +128,7 @@ func main() {
 		Workers:          *workers,
 		InjectAtCycle:    *inject,
 		InjectAtFraction: *injfrac,
+		PulseCycles:      *pulse,
 		NoCheckpoint:     *noCkpt,
 	}
 	switch *target {
@@ -128,16 +139,22 @@ func main() {
 	default:
 		log.Fatalf("unknown target %q", *target)
 	}
-	switch *model {
-	case "sa0":
-		spec.Models = []core.FaultModel{core.StuckAt0}
-	case "sa1":
-		spec.Models = []core.FaultModel{core.StuckAt1}
-	case "open":
-		spec.Models = []core.FaultModel{core.OpenLine}
-	case "all":
-	default:
-		log.Fatalf("unknown model %q", *model)
+	if *model != "all" {
+		// Mirror the service path's validation: a duplicate model would
+		// run every experiment twice and falsely tighten the Wilson
+		// interval (2N dependent trials reported as independent).
+		seen := map[string]bool{}
+		for _, name := range splitModels(*model) {
+			m, ok := modelByName[name]
+			if !ok {
+				log.Fatalf("unknown model %q (want sa0, sa1, open, seu, set or all)", name)
+			}
+			if seen[name] {
+				log.Fatalf("duplicate fault model %q", name)
+			}
+			seen[name] = true
+			spec.Models = append(spec.Models, m)
+		}
 	}
 
 	w, err := core.BuildWorkload(*name, core.WorkloadConfig{Iterations: *iters, Dataset: *dataset})
@@ -185,6 +202,39 @@ func main() {
 		tab.AddRow(u.String(), report.Percent(res.PfByUnit[u]))
 	}
 	fmt.Print(tab.String())
+}
+
+// aliasValue lets -models share the -model flag's storage.
+type aliasValue struct{ s *string }
+
+func (a aliasValue) String() string {
+	if a.s == nil {
+		return ""
+	}
+	return *a.s
+}
+func (a aliasValue) Set(v string) error { *a.s = v; return nil }
+
+// modelByName maps CLI model names onto core fault models for the
+// raw-results path; the service path defers to jobs.Request validation.
+var modelByName = map[string]core.FaultModel{
+	"sa0":  core.StuckAt0,
+	"sa1":  core.StuckAt1,
+	"open": core.OpenLine,
+	"seu":  core.BitFlip,
+	"set":  core.SETPulse,
+}
+
+// splitModels turns a comma-separated -model value into the service's
+// model-name list, trimming blanks so "sa1, seu" parses.
+func splitModels(v string) []string {
+	var out []string
+	for _, name := range strings.Split(v, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // renderOutcome prints the human-readable summary of a service-path

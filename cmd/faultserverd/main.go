@@ -13,7 +13,11 @@
 // experiment-range shards, drained by in-process shard workers and by
 // any remote workers pulling leases over the HTTP shard surface.
 // Sharding is scheduling, not content: results stay byte-identical to
-// unsharded runs.
+// unsharded runs. That holds for transient campaigns too — requests may
+// list the transient models "seu" and "set" (with "pulse_cycles" for
+// the glitch width) next to the permanent ones; injection instants are
+// sampled from the request seed keyed by absolute experiment index, so
+// every worker schedules the identical instants.
 //
 // Worker mode joins another daemon's campaigns instead of serving:
 //

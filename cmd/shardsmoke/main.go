@@ -5,7 +5,10 @@
 // distributed shard path, and asserts the scaling contract — the merged
 // result is byte-identical to `faultcampaign -json` run unsharded, the
 // in-process sharded CLI (3 workers, one binary) matches too, on both
-// injection targets, and the coordinator accounted for every shard.
+// injection targets, and the coordinator accounted for every shard. A
+// second campaign repeats the exercise with the transient models
+// (seu/set), whose per-experiment injection-cycle sampling must survive
+// arbitrary shard-to-worker assignment byte-for-byte.
 //
 // It needs only the go toolchain and a TCP loopback.
 package main
@@ -39,10 +42,34 @@ var spec = map[string]interface{}{
 	"inject_at_fraction": 0.3,
 }
 
+// transientSpec is the transient twin: both transient models (SEU
+// bit-flips and 2-cycle SET pulses) over a 30-node sample of the same
+// workload — 60 experiments whose injection cycles are sampled per
+// experiment, so byte-identity across the distributed path proves the
+// schedule is keyed by absolute experiment index, not worker order.
+var transientSpec = map[string]interface{}{
+	"workload":           "rspeed",
+	"iterations":         2,
+	"target":             "iu",
+	"models":             []string{"seu", "set"},
+	"pulse_cycles":       2,
+	"nodes":              30,
+	"seed":               1,
+	"inject_at_fraction": 0.3,
+}
+
 func cliArgs(target string, extra ...string) []string {
 	args := []string{
 		"-w", "rspeed", "-iters", "2", "-target", target, "-model", "sa1",
 		"-nodes", "60", "-seed", "1", "-inject-frac", "0.3", "-json",
+	}
+	return append(args, extra...)
+}
+
+func transientCliArgs(extra ...string) []string {
+	args := []string{
+		"-w", "rspeed", "-iters", "2", "-target", "iu", "-models", "seu,set",
+		"-pulse", "2", "-nodes", "30", "-seed", "1", "-inject-frac", "0.3", "-json",
 	}
 	return append(args, extra...)
 }
@@ -179,8 +206,49 @@ func run() error {
 		log.Printf("target %s: -shards 3 == unsharded (%d bytes)", target, len(want))
 	}
 
-	// The coordinator must have planned 6 shards and merged all 6, all
-	// executed by remote workers.
+	// Transient campaign through the same distributed path: SEU bit-flips
+	// and SET pulses, whose per-experiment injection cycles must come out
+	// identical no matter which worker executes which shard.
+	tbody, _ := json.Marshal(transientSpec)
+	tid, tcode, err := submit(base, tbody)
+	if err != nil {
+		return err
+	}
+	if tcode != http.StatusCreated {
+		return fmt.Errorf("transient submission: HTTP %d, want 201", tcode)
+	}
+	tstate, tsnaps, err := streamToEnd(base, tid)
+	if err != nil {
+		return err
+	}
+	if tstate != "done" {
+		return fmt.Errorf("transient job ended %q after %d snapshots", tstate, tsnaps)
+	}
+	tServer, err := getBytes(base + "/api/v1/campaigns/" + tid + "/result")
+	if err != nil {
+		return err
+	}
+	tUnsharded, err := runCLI(cliBin, transientCliArgs()...)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(tServer, tUnsharded) {
+		return fmt.Errorf("distributed transient result and unsharded faultcampaign -json diverge:\n--- server\n%s\n--- cli\n%s", tServer, tUnsharded)
+	}
+	tSharded, err := runCLI(cliBin, transientCliArgs("-shards", "3")...)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(tUnsharded, tSharded) {
+		return fmt.Errorf("transient -shards 3 diverged from unsharded -json")
+	}
+	if !bytes.Contains(tUnsharded, []byte(`"at_cycle"`)) {
+		return fmt.Errorf("transient outcome carries no sampled injection cycles")
+	}
+	log.Printf("transient seu/set campaign: coordinator+workers == unsharded == -shards 3 (%d bytes)", len(tUnsharded))
+
+	// The coordinator must have planned 6 shards per campaign and merged
+	// all of them, all executed by remote workers.
 	var health struct {
 		Shards struct {
 			Planned   int            `json:"planned"`
@@ -191,8 +259,8 @@ func run() error {
 	if err := getJSON(base+"/api/v1/healthz", &health); err != nil {
 		return err
 	}
-	if health.Shards.Planned != 6 || health.Shards.Completed != 6 {
-		return fmt.Errorf("shard stats %+v: want 6 planned, 6 completed", health.Shards)
+	if health.Shards.Planned != 12 || health.Shards.Completed != 12 {
+		return fmt.Errorf("shard stats %+v: want 12 planned, 12 completed", health.Shards)
 	}
 	total := 0
 	for w, n := range health.Shards.Workers {
@@ -201,8 +269,8 @@ func run() error {
 		}
 		total += n
 	}
-	if total < 6 {
-		return fmt.Errorf("workers leased %d shards, want >= 6", total)
+	if total < 12 {
+		return fmt.Errorf("workers leased %d shards, want >= 12", total)
 	}
 	log.Printf("shard accounting: %d leases across %d workers", total, len(health.Shards.Workers))
 	return nil

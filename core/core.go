@@ -93,15 +93,30 @@ type (
 	Status = iss.Status
 )
 
-// Fault models and targets.
+// Fault models and targets. StuckAt0/StuckAt1/OpenLine are the paper's
+// permanent models; BitFlip (SEU) and SETPulse (transient glitch) are the
+// transient extensions, whose injection instants are sampled per
+// experiment from the campaign seed.
 const (
 	StuckAt0 = rtl.StuckAt0
 	StuckAt1 = rtl.StuckAt1
 	OpenLine = rtl.OpenLine
+	BitFlip  = rtl.BitFlip
+	SETPulse = rtl.SETPulse
 
 	TargetIU   = fault.TargetIU
 	TargetCMEM = fault.TargetCMEM
 )
+
+// PermanentFaultModels lists the paper's permanent models (the default
+// of a CampaignSpec with no Models).
+func PermanentFaultModels() []FaultModel { return rtl.FaultModels() }
+
+// TransientFaultModels lists the transient models (BitFlip, SETPulse).
+func TransientFaultModels() []FaultModel { return rtl.TransientFaultModels() }
+
+// AllFaultModels lists every supported model in canonical order.
+func AllFaultModels() []FaultModel { return rtl.AllFaultModels() }
 
 // WorkloadNames lists the bundled benchmarks.
 func WorkloadNames() []string { return workloads.Names() }
@@ -152,7 +167,13 @@ type CampaignSpec struct {
 	InjectAtCycle uint64
 	// InjectAtFraction, when nonzero, positions the injection instant at
 	// this fraction of the golden run length (overrides InjectAtCycle).
+	// For transient models this is the start of the per-experiment
+	// injection-cycle sampling window (which extends to the end of the
+	// golden run).
 	InjectAtFraction float64
+	// PulseCycles is the SETPulse glitch width in cycles (0 = 1).
+	// Permanent models and BitFlip ignore it.
+	PulseCycles uint64
 	// NoCheckpoint disables the checkpointed campaign engine. By default
 	// (false) the golden warm-up prefix up to the injection instant is
 	// simulated once, its full RTL state is frozen in a snapshot with a
@@ -193,6 +214,7 @@ func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
 	r, err := fault.NewRunner(w.Program, fault.Options{
 		InjectAtCycle:    spec.InjectAtCycle,
 		InjectAtFraction: spec.InjectAtFraction,
+		PulseCycles:      spec.PulseCycles,
 		NoCheckpoint:     spec.NoCheckpoint,
 	})
 	if err != nil {
@@ -206,7 +228,11 @@ func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
 	if len(models) == 0 {
 		models = rtl.FaultModels()
 	}
-	results := r.Campaign(fault.Expand(nodes, models...), spec.Workers)
+	exps := fault.Expand(nodes, models...)
+	// Transient experiments get their injection instants here, before any
+	// execution: a pure function of (seed, absolute experiment index).
+	r.ScheduleTransients(exps, spec.Seed)
+	results := r.Campaign(exps, spec.Workers)
 	lo, hi := fault.PfInterval(results, stats.Z95)
 	return &CampaignResult{
 		Pf:               fault.Pf(results),
@@ -259,6 +285,9 @@ type (
 	Fig7Result = campaign.Fig7Result
 	// SimTimeResult is the §4.2 simulation-time comparison.
 	SimTimeResult = campaign.SimTimeResult
+	// TransientBreakdownResult is the per-model Pf breakdown contrasting
+	// permanent and transient fault classes.
+	TransientBreakdownResult = campaign.TransientBreakdownResult
 )
 
 // Table1 reproduces Table 1 on the ISS.
@@ -281,3 +310,11 @@ func Figure7(o ExperimentOptions) (*Fig7Result, error) { return campaign.Figure7
 
 // SimTime reproduces the simulation-time comparison.
 func SimTime(o ExperimentOptions) (*SimTimeResult, error) { return campaign.SimTime(o) }
+
+// TransientBreakdown runs one campaign per fault model — permanent and
+// transient — over a shared node sample of one benchmark and returns the
+// per-model Pf columns with the class aggregates. pulse is the SET
+// glitch width in cycles (0 = 1).
+func TransientBreakdown(o ExperimentOptions, benchmark string, pulse uint64) (*TransientBreakdownResult, error) {
+	return campaign.TransientBreakdown(o, benchmark, pulse)
+}

@@ -37,4 +37,13 @@
 // runs, and a request with a nonzero epsilon stops adaptively once the
 // Wilson half-width around its progressive Pf converges (DESIGN.md §8,
 // core.ExecuteShardedCampaign, `faultcampaign -shards/-epsilon`).
+//
+// Beyond the paper's permanent models (stuck-at-0/1, open-line), the
+// stack executes transient faults end to end: rtl.BitFlip single-event
+// upsets and rtl.SETPulse glitches with a configurable pulse width,
+// requested as the "seu" and "set" models. Each transient experiment's
+// injection cycle is sampled deterministically from the campaign seed,
+// keyed by absolute experiment index, so transient campaigns shard
+// byte-identically too (DESIGN.md §9, `faultcampaign -models seu,set
+// -pulse N`).
 package repro

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -252,4 +253,42 @@ func TestRunnerCacheMemoizes(t *testing.T) {
 	if d == a {
 		t.Error("NoCheckpoint shared a checkpointed runner")
 	}
+}
+
+func TestTransientBreakdown(t *testing.T) {
+	res, err := TransientBreakdown(small, "rspeed", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want one per fault model", len(res.Rows))
+	}
+	perm, trans := 0, 0
+	for _, row := range res.Rows {
+		if row.Transient {
+			trans++
+		} else {
+			perm++
+		}
+		if row.PfLow < 0 || row.PfHigh > 1 || row.PfLow > row.Pf || row.Pf > row.PfHigh {
+			t.Errorf("%v: interval [%v,%v] does not bracket Pf %v", row.Model, row.PfLow, row.PfHigh, row.Pf)
+		}
+	}
+	if perm != 3 || trans != 2 {
+		t.Fatalf("class split %d permanent / %d transient, want 3/2", perm, trans)
+	}
+	// Single upsets expose strictly less corruption opportunity than
+	// permanent forcing on the same sample.
+	if res.TransientPf > res.PermanentPf+0.05 {
+		t.Errorf("transient class Pf %.3f above permanent %.3f", res.TransientPf, res.PermanentPf)
+	}
+	// Deterministic: the same options reproduce the same breakdown.
+	again, err := TransientBreakdown(small, "rspeed", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("breakdown not reproducible")
+	}
+	_ = res.Render()
 }

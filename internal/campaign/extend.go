@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/report"
+	"repro/internal/rtl"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -54,6 +56,91 @@ func ExtTransient(o Options, benchmark string) (*TransientResult, error) {
 		out.Points = append(out.Points, TransientPoint{AtCycle: at, Pf: fault.Pf(results)})
 	}
 	return out, nil
+}
+
+// ModelPf is one fault model's Pf column with its Wilson interval.
+type ModelPf struct {
+	Model         rtl.FaultModel
+	Transient     bool
+	Pf            float64
+	PfLow, PfHigh float64
+}
+
+// TransientBreakdownResult is the figure-style per-model breakdown: the
+// Pf of every fault model — the paper's three permanent models and the
+// two transient extensions — on one benchmark's shared IU node sample,
+// plus the per-class aggregates.
+type TransientBreakdownResult struct {
+	Benchmark   string
+	PulseCycles uint64
+	Rows        []ModelPf
+	// PermanentPf and TransientPf aggregate Pf over each model class
+	// (all class experiments pooled).
+	PermanentPf, TransientPf float64
+}
+
+// TransientBreakdown runs one campaign per fault model over a shared
+// node sample and contrasts the permanent and transient classes.
+// Transient injection instants are scheduled deterministically from the
+// sampling seed, so the breakdown is reproducible. pulse is the SET
+// glitch width in cycles (0 = 1).
+func TransientBreakdown(o Options, benchmark string, pulse uint64) (*TransientBreakdownResult, error) {
+	r, err := RunnerFor(benchmark, workloads.Config{Iterations: o.iters()}, fault.Options{
+		InjectAtFraction: injectFraction,
+		PulseCycles:      pulse,
+		NoCheckpoint:     o.NoCheckpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nodes := fault.SampleNodes(r.Nodes(fault.TargetIU), o.nodes(), o.Seed)
+	out := &TransientBreakdownResult{Benchmark: benchmark, PulseCycles: max(pulse, 1)}
+	classDone := map[bool]int{}
+	classFail := map[bool]int{}
+	for _, model := range rtl.AllFaultModels() {
+		exps := fault.Expand(nodes, model)
+		r.ScheduleTransients(exps, o.Seed)
+		results, err := r.CampaignContext(o.ctx(), exps, o.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := fault.PfInterval(results, stats.Z95)
+		out.Rows = append(out.Rows, ModelPf{
+			Model:     model,
+			Transient: model.Transient(),
+			Pf:        fault.Pf(results),
+			PfLow:     lo,
+			PfHigh:    hi,
+		})
+		classDone[model.Transient()] += len(results)
+		classFail[model.Transient()] += fault.Failures(results)
+	}
+	if n := classDone[false]; n > 0 {
+		out.PermanentPf = float64(classFail[false]) / float64(n)
+	}
+	if n := classDone[true]; n > 0 {
+		out.TransientPf = float64(classFail[true]) / float64(n)
+	}
+	return out, nil
+}
+
+// Render prints the per-model columns with their class contrast.
+func (t *TransientBreakdownResult) Render() string {
+	tab := &report.Table{
+		Title: fmt.Sprintf("Extension: per-model Pf on %s IU nodes (SET pulse %d cycles)",
+			t.Benchmark, t.PulseCycles),
+		Columns: []string{"model", "class", "Pf", "95% CI (Wilson)"},
+	}
+	for _, row := range t.Rows {
+		class := "permanent"
+		if row.Transient {
+			class = "transient"
+		}
+		tab.AddRow(row.Model.String(), class, report.Percent(row.Pf),
+			fmt.Sprintf("%s..%s", report.Percent(row.PfLow), report.Percent(row.PfHigh)))
+	}
+	return tab.String() + fmt.Sprintf("class aggregate: permanent %s, transient %s\n",
+		report.Percent(t.PermanentPf), report.Percent(t.TransientPf))
 }
 
 // Render prints the sweep.

@@ -24,10 +24,24 @@ func (t *Tally) Add(u Tally) {
 }
 
 // Sub removes a previously folded tally from t (used when a shard's
-// in-flight partial tally is replaced by its final counts).
+// in-flight partial tally is replaced by its final counts). The fold is
+// clamped: on the coordinator requeue path a reclaimed shard's in-flight
+// partial can exceed its replacement's counts, and an unguarded
+// subtraction would drive Done or Failures negative — feeding
+// out-of-range inputs into the Wilson interval and the stopping rule. A
+// clamped tally stays a valid (0 <= Failures <= Done) sample.
 func (t *Tally) Sub(u Tally) {
 	t.Done -= u.Done
 	t.Failures -= u.Failures
+	if t.Done < 0 {
+		t.Done = 0
+	}
+	if t.Failures < 0 {
+		t.Failures = 0
+	}
+	if t.Failures > t.Done {
+		t.Failures = t.Done
+	}
 }
 
 // Pf returns the progressive failure-probability estimate over the
@@ -37,6 +51,17 @@ func (t Tally) Pf() float64 {
 		return 0
 	}
 	return float64(t.Failures) / float64(t.Done)
+}
+
+// Estimate returns the progressive Pf point estimate together with its
+// Wilson interval at confidence level z. With no completed experiments
+// the point estimate is 0 but the interval is the vacuous (0,1): that
+// pair is what lets a progress-stream consumer distinguish "no data yet"
+// from a genuine zero-failure estimate, whose interval tightens around 0
+// as Done grows. Emit all three together — a bare Pf of 0 is ambiguous.
+func (t Tally) Estimate(z float64) (pf, lo, hi float64) {
+	lo, hi = t.Interval(z)
+	return t.Pf(), lo, hi
 }
 
 // Interval returns the Wilson score confidence interval around the

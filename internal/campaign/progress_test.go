@@ -57,6 +57,59 @@ func TestTallySub(t *testing.T) {
 	}
 }
 
+// TestTallySubClamped pins the requeue-corruption guard: subtracting an
+// in-flight partial that exceeds its replacement must clamp at a valid
+// sample instead of going negative — a negative tally would feed
+// out-of-range counts into the Wilson interval and the stopping rule.
+func TestTallySubClamped(t *testing.T) {
+	tl := Tally{Done: 3, Failures: 1}
+	tl.Sub(Tally{Done: 5, Failures: 2}) // reclaimed partial larger than fold
+	if tl != (Tally{}) {
+		t.Fatalf("over-subtraction not clamped to zero: %+v", tl)
+	}
+	tl = Tally{Done: 10, Failures: 2}
+	tl.Sub(Tally{Done: 0, Failures: 5})
+	if tl.Failures < 0 || tl.Failures > tl.Done {
+		t.Fatalf("failures outside [0, Done]: %+v", tl)
+	}
+	tl = Tally{Done: 10, Failures: 9}
+	tl.Sub(Tally{Done: 5, Failures: 0}) // failures would exceed done
+	if tl != (Tally{Done: 5, Failures: 5}) {
+		t.Fatalf("failures not clamped to Done: %+v", tl)
+	}
+	// The clamped result always yields in-range statistics.
+	for _, bad := range []Tally{{Done: 1, Failures: 1}, {Done: 100, Failures: 100}} {
+		tl := Tally{}
+		tl.Sub(bad)
+		lo, hi := tl.Interval(stats.Z95)
+		if !(lo >= 0 && lo <= hi && hi <= 1) {
+			t.Fatalf("clamped tally %+v yields interval [%v,%v]", tl, lo, hi)
+		}
+	}
+}
+
+// TestTallyEstimateDistinguishesNoData pins the progressive-progress
+// contract: a record with Done==0 reports Pf 0 with the vacuous (0,1)
+// Wilson interval, while a genuine zero-failure estimate reports Pf 0
+// with an interval that tightens around 0 — so NDJSON consumers can tell
+// "no data yet" from "no failures observed".
+func TestTallyEstimateDistinguishesNoData(t *testing.T) {
+	pf, lo, hi := Tally{}.Estimate(stats.Z95)
+	if pf != 0 || lo != 0 || hi != 1 {
+		t.Fatalf("empty tally estimate = (%v, %v, %v), want (0, 0, 1)", pf, lo, hi)
+	}
+	pf, lo, hi = Tally{Done: 200}.Estimate(stats.Z95)
+	if pf != 0 || lo != 0 {
+		t.Fatalf("zero-failure estimate = (%v, %v, %v), want pf=lo=0", pf, lo, hi)
+	}
+	if hi >= 0.5 {
+		t.Fatalf("200 clean experiments still report hi=%v; indistinguishable from no data", hi)
+	}
+	if _, _, vacuous := (Tally{}).Estimate(stats.Z95); vacuous == hi {
+		t.Fatal("no-data and zero-failure estimates are indistinguishable")
+	}
+}
+
 func TestTallyStats(t *testing.T) {
 	tl := Tally{Done: 100, Failures: 25}
 	if pf := tl.Pf(); pf != 0.25 {

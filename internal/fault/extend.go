@@ -3,14 +3,14 @@ package fault
 import (
 	"context"
 
-	"repro/internal/iss"
 	"repro/internal/rtl"
 )
 
 // This file extends the campaign runner beyond the paper's permanent-fault
-// scope: transient single-event upsets (the paper's declared future work,
-// whose outcome depends on the injection instant) and saboteur-style
-// bridging faults between two nets.
+// scope with saboteur-style bridging faults between two nets, and keeps
+// the historical single-experiment transient surface (RunTransient,
+// TransientCampaign) as thin wrappers over the first-class transient
+// models in fault.go.
 
 // TransientExperiment is one bit-flip at a fixed cycle.
 type TransientExperiment struct {
@@ -21,26 +21,10 @@ type TransientExperiment struct {
 // RunTransient executes a single-event-upset experiment: the program runs
 // cleanly until AtCycle, the node's present value is inverted once, and
 // the run continues under the same off-core comparison as permanent
-// faults.
+// faults. It is RunOne with the BitFlip model, so it rides the pooled
+// (and, for instants at or beyond the fork point, checkpointed) engine.
 func (r *Runner) RunTransient(e TransientExperiment) Result {
-	core, bus := r.freshCore()
-	res := Result{
-		Fault:   rtl.Fault{Node: e.Node.Node},
-		Unit:    e.Node.Unit,
-		Latency: -1,
-	}
-	c := r.watch(bus, core, 0)
-
-	for core.Cycles() < e.AtCycle && core.Status() == iss.StatusRunning {
-		core.StepCycle()
-	}
-	if err := core.K.FlipBit(e.Node.Node); err != nil {
-		res.Outcome = OutcomeNoEffect
-		return res
-	}
-	r.runFaulted(core, c)
-	r.classify(&res, core, bus, c, e.AtCycle)
-	return res
+	return r.RunOne(Experiment{Node: e.Node, Model: rtl.BitFlip, AtCycle: e.AtCycle})
 }
 
 // TransientCampaign crosses nodes with injection instants and runs the

@@ -8,7 +8,10 @@
 // hardware faults (stuck-at-0, stuck-at-1, open-line) applied to RTL
 // signals at a fixed injection instant; any mismatch in the off-core
 // write stream — the point where light-lockstep cores compare — is a
-// system failure.
+// system failure. Beyond the paper's scope, the same machinery executes
+// transient faults (rtl.BitFlip single-event upsets and rtl.SETPulse
+// glitches) whose injection instants are sampled deterministically per
+// experiment by ScheduleTransients.
 package fault
 
 import (
@@ -101,6 +104,10 @@ type Result struct {
 	Latency int64
 	// Cycles is the faulted run's length.
 	Cycles uint64
+	// InjectAt is the cycle at which the fault was applied: the runner's
+	// fixed instant for permanent models, the experiment's sampled
+	// instant for transient ones.
+	InjectAt uint64
 }
 
 // Options configures a Runner.
@@ -118,6 +125,11 @@ type Options struct {
 	BudgetFactor uint64
 	// ExtraCycles is added on top of the scaled budget. Default 10000.
 	ExtraCycles uint64
+	// PulseCycles is the width of a SETPulse glitch in cycles: the net is
+	// forced to the complement of its present value for this many cycles,
+	// then released. Zero selects 1 (a single-cycle glitch). Permanent
+	// models and BitFlip ignore it.
+	PulseCycles uint64
 	// NoEarlyExit disables stopping a faulted run at its first off-core
 	// mismatch (ablation A1 in DESIGN.md). The classification is
 	// identical; only the campaign cost changes.
@@ -186,6 +198,9 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 	if opts.ExtraCycles == 0 {
 		opts.ExtraCycles = 10000
 	}
+	if opts.PulseCycles == 0 {
+		opts.PulseCycles = 1
+	}
 	if math.IsNaN(opts.InjectAtFraction) || math.IsInf(opts.InjectAtFraction, 0) ||
 		opts.InjectAtFraction < 0 || opts.InjectAtFraction >= 1 {
 		return nil, fmt.Errorf("fault: InjectAtFraction %v outside [0,1)", opts.InjectAtFraction)
@@ -250,9 +265,19 @@ func SampleNodes(nodes []NodeInfo, n int, seed int64) []NodeInfo {
 type Experiment struct {
 	Node  NodeInfo
 	Model rtl.FaultModel
+	// AtCycle is the injection instant of a transient-model experiment
+	// (BitFlip, SETPulse); permanent models ignore it and inject at the
+	// runner's fixed instant. ScheduleTransients assigns it
+	// deterministically; left zero, a transient experiment injects at
+	// reset.
+	AtCycle uint64
 }
 
-// Expand crosses nodes with fault models.
+// Expand crosses nodes with fault models. The enumeration order —
+// models outer, nodes inner — is load-bearing: the shard layer's
+// experiment-index currency and the job service's content addressing
+// both assume every expansion of the same (nodes, models) pair yields
+// the identical sequence.
 func Expand(nodes []NodeInfo, models ...rtl.FaultModel) []Experiment {
 	out := make([]Experiment, 0, len(nodes)*len(models))
 	for _, m := range models {
@@ -261,6 +286,46 @@ func Expand(nodes []NodeInfo, models ...rtl.FaultModel) []Experiment {
 		}
 	}
 	return out
+}
+
+// splitmix64 is the SplitMix64 output scrambler: a fixed, dependency-free
+// bijection used to derive per-experiment injection cycles. It must never
+// change — sharded campaigns rely on every process sampling the same
+// instants.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// transientCycle samples the injection instant of the transient
+// experiment at absolute index i: uniform over [lo, hi) keyed by (seed,
+// i) alone.
+func transientCycle(seed int64, i int, lo, hi uint64) uint64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + splitmix64(splitmix64(uint64(seed))+uint64(i))%(hi-lo)
+}
+
+// ScheduleTransients assigns every transient-model experiment its
+// injection instant: a deterministic uniform sample over [the runner's
+// fixed injection instant, the golden run length), keyed by the seed and
+// the experiment's absolute index in exps. Keying by absolute index —
+// never by worker-local completion or dispatch order — is the
+// determinism rule that keeps sharded campaigns byte-identical to
+// unsharded ones: any contiguous slice of a scheduled list carries the
+// same instants no matter which worker executes it. The window starts at
+// the runner's fixed instant so every sampled cycle lies at or beyond
+// the golden-run checkpoint and the fork engine stays usable.
+func (r *Runner) ScheduleTransients(exps []Experiment, seed int64) {
+	lo, hi := r.opts.InjectAtCycle, r.GoldenCycles
+	for i := range exps {
+		if exps[i].Model.Transient() {
+			exps[i].AtCycle = transientCycle(seed, i, lo, hi)
+		}
+	}
 }
 
 // comparator is the early-exit golden-trace comparator state of one
@@ -339,42 +404,76 @@ func (r *Runner) getEngine() *engine {
 	return &engine{core: core}
 }
 
-// finish arms the experiment's fault on a core positioned at the
-// injection instant and runs it to classification.
+// armAt returns the cycle at which the experiment's fault is applied:
+// the sampled per-experiment instant for transient models, the runner's
+// fixed injection instant otherwise.
+func (r *Runner) armAt(e Experiment) uint64 {
+	if e.Model.Transient() {
+		return e.AtCycle
+	}
+	return r.opts.InjectAtCycle
+}
+
+// finish takes a core positioned at or before the experiment's injection
+// instant (comparator already attached), advances the clean run to that
+// instant, applies the fault and runs it to classification. Permanent
+// models stay forced to the end of the run; a BitFlip mutates state once
+// and the design runs free; a SETPulse holds its forcing for
+// Options.PulseCycles cycles and is then released.
 func (r *Runner) finish(core *leon3.Core, bus *mem.Bus, c *comparator, e Experiment) Result {
+	injectAt := r.armAt(e)
 	res := Result{
-		Fault:   rtl.Fault{Node: e.Node.Node, Model: e.Model},
-		Unit:    e.Node.Unit,
-		Latency: -1,
+		Fault:    rtl.Fault{Node: e.Node.Node, Model: e.Model},
+		Unit:     e.Node.Unit,
+		Latency:  -1,
+		InjectAt: injectAt,
+	}
+	for core.Cycles() < injectAt && core.Status() == iss.StatusRunning {
+		core.StepCycle()
 	}
 	if err := core.K.Inject(res.Fault); err != nil {
 		res.Outcome = OutcomeNoEffect
 		return res
 	}
+	if e.Model == rtl.SETPulse {
+		// Hold the glitch for the pulse window, then release the net. The
+		// budget, terminal-status and early-exit bounds all apply inside
+		// the window too, so a pulse can never outlive the run.
+		for end := core.Cycles() + r.opts.PulseCycles; core.Cycles() < end &&
+			core.Status() == iss.StatusRunning && core.Cycles() < r.budget &&
+			(r.opts.NoEarlyExit || c.mismatchAt < 0); {
+			core.StepCycle()
+		}
+		core.K.ClearFaults()
+	}
 	r.runFaulted(core, c)
-	r.classify(&res, core, bus, c, r.opts.InjectAtCycle)
+	r.classify(&res, core, bus, c, injectAt)
 	return res
 }
 
-// runFromReset executes one experiment on a freshly reset core: the
-// warm-up prefix is simulated up to the injection instant, then the fault
-// is armed and the run continues under the comparator.
+// runFromReset executes one experiment on a freshly reset core: finish
+// simulates the warm-up prefix up to the injection instant, arms the
+// fault and continues under the comparator.
 func (r *Runner) runFromReset(core *leon3.Core, bus *mem.Bus, e Experiment) Result {
 	c := r.watch(bus, core, 0)
-	for core.Cycles() < r.opts.InjectAtCycle && core.Status() == iss.StatusRunning {
-		core.StepCycle()
-	}
 	return r.finish(core, bus, c, e)
 }
 
 // RunOne executes a single injection experiment. When the checkpointed
 // engine is active the experiment forks from the golden-run snapshot at
-// the injection instant; otherwise it re-simulates from reset. By default
-// both paths reuse a pooled core restored in place (see Options.NoPool
-// for the fork-per-experiment engine). All engine combinations produce
-// identical results.
+// the runner's fixed injection instant; otherwise it re-simulates from
+// reset. Transient experiments whose sampled instant lies at or beyond
+// that fork point ride the same engine (the clean continuation is
+// advanced to the sampled cycle before arming); one sampled earlier
+// falls back to from-reset execution so the injection is never skipped.
+// By default both paths reuse a pooled core restored in place (see
+// Options.NoPool for the fork-per-experiment engine). All engine
+// combinations produce identical results.
 func (r *Runner) RunOne(e Experiment) Result {
 	ck := r.checkpoint()
+	if ck != nil && e.Model.Transient() && e.AtCycle < r.opts.InjectAtCycle {
+		ck = nil
+	}
 	if r.opts.NoPool {
 		if ck != nil {
 			bus := mem.NewBus(ck.img.Fork())

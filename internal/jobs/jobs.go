@@ -59,8 +59,11 @@ type Request struct {
 	Dataset int `json:"dataset,omitempty"`
 	// Target is the injected hierarchy: "iu" (default) or "cmem".
 	Target string `json:"target"`
-	// Models lists permanent fault models ("sa0", "sa1", "open");
-	// empty selects all three in the engine's canonical order.
+	// Models lists fault models: permanent ("sa0", "sa1", "open") and
+	// transient ("seu" single-event bit-flip, "set" transient glitch
+	// pulse). Empty selects the three permanent models in the engine's
+	// canonical order — transient models are opted into by name, so every
+	// pre-existing request keeps its content address.
 	Models []string `json:"models"`
 	// Nodes is the statistical node sample size; 0 injects every node.
 	Nodes int `json:"nodes,omitempty"`
@@ -71,6 +74,11 @@ type Request struct {
 	// InjectAtFraction positions the injection instant at this fraction
 	// of the golden run (overrides InjectAtCycle when nonzero).
 	InjectAtFraction float64 `json:"inject_at_fraction,omitempty"`
+	// PulseCycles is the width of a "set" glitch in cycles (0 selects 1).
+	// Like the models list it changes which experiments run, so it
+	// participates in the content address; requests without the "set"
+	// model normalize it away entirely.
+	PulseCycles uint64 `json:"pulse_cycles,omitempty"`
 	// NoCheckpoint re-simulates every experiment from reset (engine
 	// debugging only; results are identical).
 	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
@@ -89,7 +97,9 @@ type Request struct {
 // limit would blow the engine's 200M-cycle golden-run budget anyway.
 const MaxIterations = 100_000
 
-// modelOrder maps wire names onto fault models, in canonical order.
+// modelOrder maps wire names onto fault models, in canonical order:
+// permanent models first (the historical trio an empty request selects),
+// then the transient extensions.
 var modelOrder = []struct {
 	name  string
 	model rtl.FaultModel
@@ -97,6 +107,8 @@ var modelOrder = []struct {
 	{"sa0", rtl.StuckAt0},
 	{"sa1", rtl.StuckAt1},
 	{"open", rtl.OpenLine},
+	{"seu", rtl.BitFlip},
+	{"set", rtl.SETPulse},
 }
 
 func parseModel(name string) (rtl.FaultModel, error) {
@@ -105,7 +117,7 @@ func parseModel(name string) (rtl.FaultModel, error) {
 			return m.model, nil
 		}
 	}
-	return 0, fmt.Errorf("jobs: unknown fault model %q (want sa0, sa1 or open)", name)
+	return 0, fmt.Errorf("jobs: unknown fault model %q (want sa0, sa1, open, seu or set)", name)
 }
 
 // Normalize validates the request and returns its canonical form: target
@@ -136,22 +148,36 @@ func (r Request) Normalize() (Request, error) {
 	default:
 		return r, fmt.Errorf("jobs: unknown target %q (want iu or cmem)", r.Target)
 	}
+	hasSET, hasTransient := false, false
 	if len(r.Models) == 0 {
-		names := make([]string, len(modelOrder))
-		for i, m := range modelOrder {
-			names[i] = m.name
+		// The empty list means the paper's permanent trio, never the
+		// transient extensions: widening the default would silently remap
+		// every pre-existing content address onto a different campaign.
+		names := make([]string, 0, len(rtl.FaultModels()))
+		for _, m := range modelOrder {
+			if m.model.Transient() {
+				continue
+			}
+			names = append(names, m.name)
 		}
 		r.Models = names
 	} else {
 		seen := map[string]bool{}
 		for _, name := range r.Models {
-			if _, err := parseModel(name); err != nil {
+			m, err := parseModel(name)
+			if err != nil {
 				return r, err
 			}
 			if seen[name] {
 				return r, fmt.Errorf("jobs: duplicate fault model %q", name)
 			}
 			seen[name] = true
+			if m.Transient() {
+				hasTransient = true
+			}
+			if m == rtl.SETPulse {
+				hasSET = true
+			}
 		}
 	}
 	if r.Iterations < 0 || r.Dataset < 0 || r.Nodes < 0 {
@@ -176,10 +202,21 @@ func (r Request) Normalize() (Request, error) {
 		// so a leftover cycle value must not fragment the cache key.
 		r.InjectAtCycle = 0
 	}
-	if r.Nodes == 0 {
-		// Exhaustive campaigns inject every node; the sampling seed is
-		// never consulted and must not fragment the cache key.
+	if r.Nodes == 0 && !hasTransient {
+		// Exhaustive permanent campaigns never consult the seed, so it
+		// must not fragment the cache key. Transient campaigns sample
+		// their injection cycles from the seed even when the node set is
+		// exhaustive, so there it stays.
 		r.Seed = 0
+	}
+	if !hasSET {
+		// The pulse width only shapes "set" experiments; without that
+		// model it must not fragment the cache key.
+		r.PulseCycles = 0
+	} else if r.PulseCycles == 0 {
+		// Zero means the engine default (a single-cycle glitch); pin it
+		// so the spelled-out form hashes identically.
+		r.PulseCycles = 1
 	}
 	// A Wilson half-width never exceeds 0.5, so epsilon at or above it
 	// would stop a campaign after its very first experiment — reject the
@@ -228,6 +265,12 @@ type ExperimentOutcome struct {
 	Outcome string `json:"outcome"`
 	Latency int64  `json:"latency"`
 	Cycles  uint64 `json:"cycles"`
+	// AtCycle is the sampled injection instant of a transient experiment;
+	// nil (omitted) for permanent models, whose instant is the request's
+	// fixed one — keeping permanent encodings byte-identical to earlier
+	// releases. A pointer rather than omitempty-on-zero: an instant
+	// legitimately sampled at cycle 0 must still be emitted.
+	AtCycle *uint64 `json:"at_cycle,omitempty"`
 }
 
 // Outcome is the deterministic result encoding shared by the job service,
@@ -267,7 +310,7 @@ func EncodeOutcome(w io.Writer, o *Outcome) error {
 
 // experimentOutcome is the wire encoding of one raw engine result.
 func experimentOutcome(res fault.Result) ExperimentOutcome {
-	return ExperimentOutcome{
+	eo := ExperimentOutcome{
 		Node:    res.Fault.Node.String(),
 		Model:   res.Fault.Model.String(),
 		Unit:    res.Unit.String(),
@@ -275,6 +318,11 @@ func experimentOutcome(res fault.Result) ExperimentOutcome {
 		Latency: res.Latency,
 		Cycles:  res.Cycles,
 	}
+	if res.Fault.Model.Transient() {
+		at := res.InjectAt
+		eo.AtCycle = &at
+	}
+	return eo
 }
 
 // noEffect is the one outcome string that does not count as a propagated
@@ -379,6 +427,7 @@ func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
 			fault.Options{
 				InjectAtCycle:    n.InjectAtCycle,
 				InjectAtFraction: n.InjectAtFraction,
+				PulseCycles:      n.PulseCycles,
 				NoCheckpoint:     n.NoCheckpoint,
 			})
 		ch <- built{r, err}
@@ -393,9 +442,12 @@ func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
 
 // experimentsFor returns the campaign's deterministic experiment
 // expansion: the sampled (or exhaustive) node set crossed with the
-// requested fault models, in canonical order. Every shard of a campaign
-// and its unsharded execution expand the identical list, which is what
-// makes experiment-index ranges a sound shard currency.
+// requested fault models, in canonical order, with every transient
+// experiment's injection cycle scheduled from (seed, absolute index).
+// Every shard of a campaign and its unsharded execution expand the
+// identical list — instants included — which is what makes
+// experiment-index ranges a sound shard currency: scheduling happens on
+// the full list before any slicing, never per worker.
 func experimentsFor(r *fault.Runner, n Request) []fault.Experiment {
 	nodes := r.Nodes(n.target())
 	if n.Nodes > 0 {
@@ -405,7 +457,9 @@ func experimentsFor(r *fault.Runner, n Request) []fault.Experiment {
 	for i, name := range n.Models {
 		models[i], _ = parseModel(name) // validated by Normalize
 	}
-	return fault.Expand(nodes, models...)
+	exps := fault.Expand(nodes, models...)
+	r.ScheduleTransients(exps, n.Seed)
+	return exps
 }
 
 // Execute runs one campaign request synchronously on the process-wide

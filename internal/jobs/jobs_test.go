@@ -683,3 +683,70 @@ func TestManagerFailedJobReleasesKey(t *testing.T) {
 		t.Errorf("resubmit after failure: fresh=%v err=%v", fresh, err)
 	}
 }
+
+// TestTransientContentAddress pins the cache-safety rules of the
+// transient knobs: model lists and pulse width participate in the
+// content address (a cached permanent result can never be served for a
+// transient request), the pulse is normalized away when no "set" model
+// can consume it, and the sampling seed survives normalization for
+// transient campaigns even when the node set is exhaustive (it drives
+// injection-cycle sampling there).
+func TestTransientContentAddress(t *testing.T) {
+	key := func(r jobs.Request) string {
+		t.Helper()
+		k, err := r.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	perm := key(jobs.Request{Workload: "excerptA"})
+	seu := key(jobs.Request{Workload: "excerptA", Models: []string{"seu"}})
+	if perm == seu {
+		t.Fatal("seu request shares the permanent trio's content address")
+	}
+
+	set1 := key(jobs.Request{Workload: "excerptA", Models: []string{"set"}})
+	set1b := key(jobs.Request{Workload: "excerptA", Models: []string{"set"}, PulseCycles: 1})
+	set4 := key(jobs.Request{Workload: "excerptA", Models: []string{"set"}, PulseCycles: 4})
+	if set1 != set1b {
+		t.Error("default pulse width and spelled-out 1 hash differently")
+	}
+	if set1 == set4 {
+		t.Error("pulse width did not change the content address")
+	}
+
+	// Without the set model the pulse shapes nothing and must not
+	// fragment the key.
+	sa1 := key(jobs.Request{Workload: "excerptA", Models: []string{"sa1"}})
+	sa1p := key(jobs.Request{Workload: "excerptA", Models: []string{"sa1"}, PulseCycles: 9})
+	if sa1 != sa1p {
+		t.Error("pulse width fragmented a permanent-only request")
+	}
+
+	// Exhaustive permanent campaigns drop the seed; exhaustive transient
+	// ones keep it (it picks the injection cycles).
+	permS1 := key(jobs.Request{Workload: "excerptA", Models: []string{"sa1"}, Seed: 1})
+	permS2 := key(jobs.Request{Workload: "excerptA", Models: []string{"sa1"}, Seed: 2})
+	if permS1 != permS2 {
+		t.Error("seed fragmented an exhaustive permanent campaign")
+	}
+	seuS1 := key(jobs.Request{Workload: "excerptA", Models: []string{"seu"}, Seed: 1})
+	seuS2 := key(jobs.Request{Workload: "excerptA", Models: []string{"seu"}, Seed: 2})
+	if seuS1 == seuS2 {
+		t.Error("seed ignored by an exhaustive transient campaign")
+	}
+
+	// The empty model list still means the paper's permanent trio — the
+	// transient models must be opted into by name.
+	n, err := jobs.Request{Workload: "excerptA"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Models) != 3 {
+		t.Fatalf("default model list = %v, want the permanent trio", n.Models)
+	}
+	if _, err := (jobs.Request{Workload: "excerptA", Models: []string{"flip"}}).Normalize(); err == nil {
+		t.Error("unknown transient model name accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/stats"
 )
 
@@ -522,10 +523,10 @@ func (m *Manager) progressLocked(j *job) Progress {
 		Total:    j.total,
 		Failures: j.failures,
 	}
-	if j.done > 0 {
-		p.Pf = float64(j.failures) / float64(j.done)
-	}
-	p.PfLow, p.PfHigh = stats.WilsonCI(j.failures, j.done, stats.Z95)
+	// Estimate emits the Wilson interval alongside the point estimate so
+	// a Done==0 snapshot (Pf 0, interval (0,1)) is distinguishable from a
+	// true zero-failure estimate (Pf 0, interval shrinking around 0).
+	p.Pf, p.PfLow, p.PfHigh = campaign.Tally{Done: j.done, Failures: j.failures}.Estimate(stats.Z95)
 	if j.state == StateDone && j.result != nil {
 		// The terminal snapshot reports the exact final numbers.
 		p.Pf, p.PfLow, p.PfHigh = j.result.Pf, j.result.PfLow, j.result.PfHigh

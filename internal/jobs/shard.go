@@ -229,6 +229,22 @@ func (c *Coordinator) Progress(leaseID string, done, failures int) (cancel bool)
 		c.mu.Unlock()
 		return true
 	}
+	// Clamp the reported tally into the leased range: a buggy or
+	// malicious worker must not be able to inflate the progressive Pf,
+	// drive the folded tally negative, or falsely trip the epsilon stop
+	// rule with counts its shard cannot contain.
+	if size := l.rng.End - l.rng.Start; done > size {
+		done = size
+	}
+	if done < 0 {
+		done = 0
+	}
+	if failures < 0 {
+		failures = 0
+	}
+	if failures > done {
+		failures = done
+	}
 	l.tally = campaign.Tally{Done: done, Failures: failures}
 	l.lastSeen = time.Now()
 	c.maybeStopLocked()

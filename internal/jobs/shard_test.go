@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -510,5 +511,150 @@ func TestReclaimsDoNotTripPoisonBound(t *testing.T) {
 	}
 	if r.out.Injections != r.out.Request.Nodes*3 {
 		t.Fatalf("campaign finished with %d experiments", r.out.Injections)
+	}
+}
+
+// TestCrashedWorkerTallyNeverNegative is the requeue-corruption
+// regression test: a worker that over-reports its in-flight tally and
+// then crashes mid-shard must never drive the coordinator's merged
+// progressive tally negative (or beyond the campaign total), and the
+// recovered campaign must still merge to the unsharded bytes. The
+// coordinator clamps reported tallies into the leased range and
+// campaign.Tally.Sub clamps the fold, so every progress snapshot the
+// pool emits stays a valid sample.
+func TestCrashedWorkerTallyNeverNegative(t *testing.T) {
+	pool := jobs.NewShardPool(jobs.ShardPoolOptions{Shards: 2, LocalWorkers: -1})
+	req := shardSpec("iu")
+
+	type res struct {
+		out *jobs.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	var tapErr error
+	var tapMu sync.Mutex
+	go func() {
+		out, err := pool.Execute(context.Background(), req, 0, func(done, total, failures int) {
+			tapMu.Lock()
+			defer tapMu.Unlock()
+			if tapErr != nil {
+				return
+			}
+			if done < 0 || failures < 0 || failures > done || done > total {
+				tapErr = fmt.Errorf("merged tally went out of range: done=%d failures=%d total=%d",
+					done, failures, total)
+			}
+		})
+		ch <- res{out, err}
+	}()
+
+	lease := func(worker string) *jobs.ShardLease {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if l, ok := pool.Lease(worker); ok {
+				return l
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("no lease before deadline")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A lying worker reports an in-flight tally far beyond its shard —
+	// and beyond the whole campaign — then crashes mid-shard.
+	liar := lease("liar")
+	if pool.Progress(liar.Lease, 1_000_000, 2_000_000) {
+		t.Fatal("coordinator cancelled the lying worker's lease prematurely")
+	}
+	if pool.Progress(liar.Lease, -5, -7) {
+		t.Fatal("coordinator cancelled after negative report")
+	}
+	if err := pool.Fail(liar.Lease, "synthetic mid-shard crash"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Honest workers execute the requeued shard and the remaining one;
+	// their real counts are smaller than the dead worker's claim, which
+	// is exactly the fold the clamp guards.
+	for done := 0; done < 2; done++ {
+		l := lease("honest")
+		out, err := jobs.ExecuteShard(context.Background(), l.Request, l.Range.Start, l.Range.End, 2,
+			func(done, total, failures int) { pool.Progress(l.Lease, done, failures) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Complete(jobs.ShardResult{Lease: l.Lease, Output: *out}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	tapMu.Lock()
+	err := tapErr
+	tapMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err2 := jobs.Execute(context.Background(), req, 4, nil)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if w, g := encode(t, want), encode(t, r.out); !bytes.Equal(w, g) {
+		t.Fatal("recovered campaign diverged from unsharded execution")
+	}
+}
+
+// transientSpec is the transient twin of shardSpec: both transient
+// models over a 24-node sample with a 2-cycle SET pulse.
+func transientSpec() jobs.Request {
+	return jobs.Request{
+		Workload:         "excerptA",
+		Models:           []string{"seu", "set"},
+		PulseCycles:      2,
+		Nodes:            24,
+		Seed:             1,
+		InjectAtFraction: 0.3,
+	}
+}
+
+// TestShardedTransientByteIdentical is the transient acceptance
+// criterion: a seu/set campaign executed as shards on 3 in-process
+// workers is byte-identical to its unsharded run — which requires the
+// injection-cycle schedule to be keyed by absolute experiment index,
+// never by worker-local order.
+func TestShardedTransientByteIdentical(t *testing.T) {
+	req := transientSpec()
+	want, err := jobs.Execute(context.Background(), req, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Injections != 48 {
+		t.Fatalf("transient campaign ran %d experiments, want 48", want.Injections)
+	}
+	transient := 0
+	for _, e := range want.Experiments {
+		if e.Model == "bit-flip" || e.Model == "set-pulse" {
+			transient++
+			if e.AtCycle == nil {
+				t.Fatalf("transient experiment %s carries no at_cycle", e.Node)
+			}
+			if *e.AtCycle < want.GoldenCycles*3/10 || *e.AtCycle >= want.GoldenCycles {
+				t.Fatalf("experiment %s at_cycle %d outside the [fork, golden) window", e.Node, *e.AtCycle)
+			}
+		}
+	}
+	if transient != want.Injections {
+		t.Fatalf("%d of %d experiments carry a transient model", transient, want.Injections)
+	}
+	got, err := jobs.ExecuteSharded(context.Background(), req, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, g := encode(t, want), encode(t, got); !bytes.Equal(w, g) {
+		t.Fatalf("sharded transient outcome diverged from unsharded:\n--- unsharded\n%s\n--- sharded\n%s", w, g)
 	}
 }

@@ -2,14 +2,21 @@ package rtl
 
 import "fmt"
 
-// FaultModel enumerates the permanent fault models of the paper.
+// FaultModel enumerates the fault models: the paper's permanent models
+// (stuck-at-0/1, open-line) plus the transient models of its declared
+// future work (single-event upsets and single-event transients), whose
+// outcome depends on the injection instant.
 type FaultModel uint8
 
-// Permanent fault models.
+// Fault models. The first three are permanent (armed once, forced for
+// the rest of the run); BitFlip and SETPulse are transient (applied at a
+// sampled injection cycle, after which the design runs free).
 const (
 	StuckAt0 FaultModel = iota
 	StuckAt1
 	OpenLine // driver disconnected; the net retains its charge
+	BitFlip  // SEU: invert the net's present value once, then run free
+	SETPulse // SET: force the net's complement for a cycle window, then release
 )
 
 func (m FaultModel) String() string {
@@ -20,12 +27,31 @@ func (m FaultModel) String() string {
 		return "stuck-at-1"
 	case OpenLine:
 		return "open-line"
+	case BitFlip:
+		return "bit-flip"
+	case SETPulse:
+		return "set-pulse"
 	}
 	return "fault?"
 }
 
-// FaultModels lists all supported models.
+// Transient reports whether the model is a transient upset rather than a
+// permanent forcing: its effect is tied to an injection cycle, and (for
+// SETPulse) the forcing is released after the pulse window.
+func (m FaultModel) Transient() bool { return m == BitFlip || m == SETPulse }
+
+// FaultModels lists the paper's permanent models (the historical default
+// of every campaign surface; transient models are opted into by name).
 func FaultModels() []FaultModel { return []FaultModel{StuckAt0, StuckAt1, OpenLine} }
+
+// TransientFaultModels lists the transient models.
+func TransientFaultModels() []FaultModel { return []FaultModel{BitFlip, SETPulse} }
+
+// AllFaultModels lists every supported model, permanent first, in
+// canonical enumeration order.
+func AllFaultModels() []FaultModel {
+	return append(FaultModels(), TransientFaultModels()...)
+}
 
 // Node identifies one injectable bit: a bit of a signal, or a bit of one
 // word of a memory array.
@@ -79,9 +105,16 @@ func (k *Kernel) Nodes(prefix string) []Node {
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 
 // Inject arms a fault at its node. Stuck-at faults force the bit; an
-// open-line fault freezes the bit at its present value. Injecting on an
+// open-line fault freezes the bit at its present value; a SET pulse
+// forces the complement of the bit's present value (disarm it with
+// ClearFaults once the pulse window elapses). A BitFlip is not a forcing
+// at all: Inject performs the one-shot state inversion (FlipBit) and
+// arms nothing, so there is nothing to clear afterwards. Injecting on an
 // unknown node returns an error.
 func (k *Kernel) Inject(f Fault) error {
+	if f.Model == BitFlip {
+		return k.FlipBit(f.Node)
+	}
 	bit := uint64(1) << f.Node.Bit
 	for _, s := range k.signals {
 		if s.name != f.Node.Name {
@@ -101,6 +134,8 @@ func (k *Kernel) Inject(f Fault) error {
 			s.fVal &^= bit
 		case OpenLine:
 			s.fVal = s.fVal&^bit | *s.curp&bit
+		case SETPulse:
+			s.fVal = s.fVal&^bit | ^*s.curp&bit
 		}
 		s.updateSlow()
 		k.faults = append(k.faults, f)
@@ -129,6 +164,8 @@ func (k *Kernel) Inject(f Fault) error {
 			a.fVal &^= bit
 		case OpenLine:
 			a.fVal = a.fVal&^bit | a.data[f.Node.Word]&bit
+		case SETPulse:
+			a.fVal = a.fVal&^bit | ^a.data[f.Node.Word]&bit
 		}
 		k.faults = append(k.faults, f)
 		k.dirty = true

@@ -1,0 +1,109 @@
+package rtl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSETPulseForcesComplementAndReleases(t *testing.T) {
+	k := NewKernel()
+	w := k.Wire("w", 8, 0)
+	w.Set(0b1010)
+	if err := k.Inject(Fault{Node: Node{Name: "w", Bit: 1}, Model: SETPulse}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Get() != 0b1000 {
+		t.Errorf("pulsed read = %#b, want bit 1 forced low", w.Get())
+	}
+	// The driver keeps driving underneath; the glitch overrides the read.
+	w.Set(0b1010)
+	if w.Get() != 0b1000 {
+		t.Errorf("pulse did not override the driver: %#b", w.Get())
+	}
+	k.ClearFaults()
+	if w.Get() != 0b1010 {
+		t.Errorf("release did not restore the driven value: %#b", w.Get())
+	}
+}
+
+func TestSETPulseOnZeroBitForcesHigh(t *testing.T) {
+	k := NewKernel()
+	w := k.Wire("w", 4, 0)
+	w.Set(0)
+	if err := k.Inject(Fault{Node: Node{Name: "w", Bit: 2}, Model: SETPulse}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Get() != 0b100 {
+		t.Errorf("pulse on a low bit should force it high: %#b", w.Get())
+	}
+}
+
+func TestSETPulseOnArrayCell(t *testing.T) {
+	k := NewKernel()
+	a := k.Array("m", 16, 4, 0)
+	a.Write(1, 0x0f)
+	if err := k.Inject(Fault{Node: Node{Name: "m", Word: 1, Bit: 0}, Model: SETPulse}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Read(1) != 0x0e {
+		t.Errorf("array pulse read = %#x", a.Read(1))
+	}
+	k.ClearFaults()
+	if a.Read(1) != 0x0f {
+		t.Errorf("array pulse survived release: %#x", a.Read(1))
+	}
+}
+
+func TestInjectBitFlipDelegatesToFlip(t *testing.T) {
+	k := NewKernel()
+	w := k.Wire("w", 8, 0)
+	w.Set(1)
+	if err := k.Inject(Fault{Node: Node{Name: "w", Bit: 0}, Model: BitFlip}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Get() != 0 {
+		t.Errorf("flip via Inject did not invert the bit: %#b", w.Get())
+	}
+	if len(k.Faults()) != 0 {
+		t.Error("a bit-flip must not arm a forcing")
+	}
+	// Rewriting heals the upset — it is a state change, not a forcing.
+	w.Set(1)
+	if w.Get() != 1 {
+		t.Error("flip behaved like a permanent fault")
+	}
+	if err := k.Inject(Fault{Node: Node{Name: "w", Bit: 9}, Model: BitFlip}); err == nil {
+		t.Error("out-of-range flip accepted")
+	}
+}
+
+func TestFaultModelEnumeration(t *testing.T) {
+	if !reflect.DeepEqual(FaultModels(), []FaultModel{StuckAt0, StuckAt1, OpenLine}) {
+		t.Error("permanent model list changed")
+	}
+	if !reflect.DeepEqual(TransientFaultModels(), []FaultModel{BitFlip, SETPulse}) {
+		t.Error("transient model list changed")
+	}
+	if !reflect.DeepEqual(AllFaultModels(),
+		[]FaultModel{StuckAt0, StuckAt1, OpenLine, BitFlip, SETPulse}) {
+		t.Error("canonical model order changed")
+	}
+	for m, want := range map[FaultModel]string{
+		StuckAt0: "stuck-at-0", StuckAt1: "stuck-at-1", OpenLine: "open-line",
+		BitFlip: "bit-flip", SETPulse: "set-pulse",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	for _, m := range FaultModels() {
+		if m.Transient() {
+			t.Errorf("%v reports transient", m)
+		}
+	}
+	for _, m := range TransientFaultModels() {
+		if !m.Transient() {
+			t.Errorf("%v reports permanent", m)
+		}
+	}
+}

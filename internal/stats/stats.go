@@ -118,10 +118,22 @@ const Z95 = 1.96
 // exactly the regime of a streaming campaign's first few experiments.
 //
 // With no trials the interval is the vacuous [0,1]; z <= 0 collapses to
-// the point estimate.
+// the point estimate. Out-of-range successes are clamped into
+// [0, trials]: callers fold counts reported by remote workers, and a
+// corrupted tally (negative, or exceeding its trial count) must yield a
+// defensible interval instead of NaN or out-of-range bounds — this
+// function feeds the adaptive stopping rule, where a NaN half-width
+// would silently disable (or a negative one instantly satisfy) the
+// convergence test.
 func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
 	if trials <= 0 {
 		return 0, 1
+	}
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > trials {
+		successes = trials
 	}
 	n := float64(trials)
 	p := float64(successes) / n

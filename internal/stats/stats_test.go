@@ -137,6 +137,52 @@ func TestWilsonCIEdges(t *testing.T) {
 	}
 }
 
+// TestWilsonCIProperty fuzzes the interval over random — including
+// out-of-range — inputs: for every (successes, trials) pair the bounds
+// must stay in [0,1], bracket the clamped proportion, and never be NaN.
+// Out-of-range successes reach this function when corrupted shard
+// tallies are folded, and the bounds feed Converged; garbage in must
+// still yield a defensible interval.
+func TestWilsonCIProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5000; trial++ {
+		trials := rng.Intn(2000) - 100    // sometimes negative or zero
+		successes := rng.Intn(3000) - 500 // sometimes negative or > trials
+		z := []float64{0, 1.0, 1.96, 2.5758}[rng.Intn(4)]
+		lo, hi := WilsonCI(successes, trials, z)
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Fatalf("WilsonCI(%d,%d,%v) = NaN bounds", successes, trials, z)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Fatalf("WilsonCI(%d,%d,%v) = [%v,%v] outside 0 <= lo <= hi <= 1",
+				successes, trials, z, lo, hi)
+		}
+		if trials <= 0 {
+			if lo != 0 || hi != 1 {
+				t.Fatalf("WilsonCI(%d,%d,%v) = [%v,%v], want the vacuous [0,1]",
+					successes, trials, z, lo, hi)
+			}
+			continue
+		}
+		// The interval brackets the proportion of the clamped inputs.
+		k := successes
+		if k < 0 {
+			k = 0
+		}
+		if k > trials {
+			k = trials
+		}
+		p := float64(k) / float64(trials)
+		if lo > p+1e-12 || hi < p-1e-12 {
+			t.Fatalf("WilsonCI(%d,%d,%v) = [%v,%v] does not bracket %v",
+				successes, trials, z, lo, hi, p)
+		}
+		if hw := HalfWidth(successes, trials, z); math.IsNaN(hw) || hw < 0 || hw > 0.5 {
+			t.Fatalf("HalfWidth(%d,%d,%v) = %v", successes, trials, z, hw)
+		}
+	}
+}
+
 func TestHalfWidth(t *testing.T) {
 	// No trials: the vacuous [0,1] interval has half-width 0.5.
 	if hw := HalfWidth(0, 0, 1.96); hw != 0.5 {
