@@ -58,6 +58,7 @@ func main() {
 		inject  = flag.Uint64("inject-at", 0, "injection instant (cycle)")
 		injfrac = flag.Float64("inject-frac", 0, "injection instant as a fraction of the golden run (overrides -inject-at)")
 		noCkpt  = flag.Bool("no-checkpoint", false, "re-simulate each experiment from reset instead of forking the golden-run checkpoint")
+		noBatch = flag.Bool("no-batch", false, "run each experiment as its own scalar simulation instead of batching fault universes through the bit-parallel engine")
 		asJSON  = flag.Bool("json", false, "emit the campaign job service's canonical result JSON")
 		shards  = flag.Int("shards", 0, "split the campaign into this many experiment-range shards on in-process workers (0/1 = unsharded)")
 		epsilon = flag.Float64("epsilon", 0, "adaptive early stop once the Wilson 95% half-width around Pf reaches this (0 = run to completion)")
@@ -91,6 +92,7 @@ func main() {
 			InjectAtCycle:    *inject,
 			InjectAtFraction: *injfrac,
 			NoCheckpoint:     *noCkpt,
+			NoBatch:          *noBatch,
 			Epsilon:          *epsilon,
 		}
 		if *model != "all" {
@@ -130,6 +132,7 @@ func main() {
 		InjectAtFraction: *injfrac,
 		PulseCycles:      *pulse,
 		NoCheckpoint:     *noCkpt,
+		NoBatch:          *noBatch,
 	}
 	switch *target {
 	case "iu":

@@ -33,6 +33,18 @@
 // fault.Options.NoCheckpoint) to fall back to from-reset re-simulation
 // when debugging the engine.
 //
+// From the checkpoint, experiments run bit-parallel (PPSFP): the engine
+// batches up to 64 fault universes — lanes — into one witnessed golden
+// pass that records which bit values every batched net is read with,
+// finalizes the lanes that provably never activate as no-effect without
+// simulating them, and re-runs only the activated lanes scalar from an
+// in-pass snapshot. Per-lane results are byte-identical to scalar
+// execution for every fault model and injection target, so batching is
+// invisible to result encodings, content addresses and shard merges.
+// Set CampaignSpec.NoBatch to force one scalar simulation per
+// experiment (the pre-batching engine); see DESIGN.md §10 for the
+// design and the measured lane-count ablation.
+//
 // Quick start:
 //
 //	w, _ := core.BuildWorkload("rspeed", core.WorkloadConfig{Iterations: 2})
@@ -182,6 +194,16 @@ type CampaignSpec struct {
 	// identical results at a much higher cost and exists for debugging
 	// the engine itself.
 	NoCheckpoint bool
+	// NoBatch disables the bit-parallel (PPSFP) campaign engine. By
+	// default (false) a checkpointed campaign groups experiments that
+	// share an injection instant into batches of up to 64 fault
+	// universes ("lanes"); one witnessed golden pass resolves every lane
+	// that never observably activates, and only the rest simulate.
+	// Disabling runs each experiment as its own scalar simulation, which
+	// produces identical results at a higher cost and exists for
+	// debugging and ablation. With NoCheckpoint set (or injection at
+	// reset) every experiment is scalar regardless.
+	NoBatch bool
 }
 
 // CampaignResult aggregates an injection campaign.
@@ -216,6 +238,7 @@ func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
 		InjectAtFraction: spec.InjectAtFraction,
 		PulseCycles:      spec.PulseCycles,
 		NoCheckpoint:     spec.NoCheckpoint,
+		NoBatch:          spec.NoBatch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

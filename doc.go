@@ -20,6 +20,18 @@
 // Disable the engine with fault.Options.NoCheckpoint or
 // core.CampaignSpec.NoCheckpoint when debugging.
 //
+// On top of the checkpoint, experiments execute bit-parallel in the
+// PPSFP style: the runner batches up to 64 fault universes (lanes) per
+// witnessed golden pass, using the kernel's per-cycle read witnesses to
+// prove most lanes never activate — those are classified no-effect
+// without being simulated — while activated lanes fall back to an exact
+// scalar run from an in-pass snapshot. Per-lane results are
+// byte-identical to the scalar engine (TestEngineEquivalence,
+// TestBatchedCampaignRace), so batching never leaks into content
+// addresses, shard merges or cached outcomes. Disable it with
+// fault.Options.NoBatch / core.CampaignSpec.NoBatch / `-no-batch`, and
+// cap the lane count with fault.Options.BatchLanes (DESIGN.md §10).
+//
 // Campaigns can also be served instead of batch-run: cmd/faultserverd is
 // a long-running HTTP/NDJSON job server (internal/jobs, internal/server)
 // that schedules campaigns on a bounded worker pool, coalesces duplicate

@@ -43,6 +43,12 @@ type Options struct {
 	// (the paper's original cost model; useful only for debugging or for
 	// measuring the engine's speedup).
 	NoCheckpoint bool
+	// NoBatch disables the bit-parallel (PPSFP) campaign engine: every
+	// experiment then runs as its own scalar simulation instead of
+	// sharing one witnessed golden pass per batch of fault universes.
+	// Results are identical; the toggle exists for debugging and for the
+	// DESIGN.md §10 lane ablation.
+	NoBatch bool
 	// Context, when non-nil, bounds every campaign the experiment
 	// functions run: cancellation stops the worker loops within one
 	// experiment granule and the experiment function returns ctx.Err().
@@ -173,6 +179,7 @@ func runnerFor(o Options, name string, cfg workloads.Config) (*fault.Runner, err
 	return RunnerFor(name, cfg, fault.Options{
 		InjectAtFraction: injectFraction,
 		NoCheckpoint:     o.NoCheckpoint,
+		NoBatch:          o.NoBatch,
 	})
 }
 
@@ -612,6 +619,7 @@ func checkpointSpeedup(o Options, w *workloads.Workload) (ckSec, resetSec float6
 		r, err := fault.NewRunner(w.Program, fault.Options{
 			InjectAtFraction: injectFraction,
 			NoCheckpoint:     noCkpt,
+			NoBatch:          o.NoBatch,
 		})
 		if err != nil {
 			return 0, 0, fmt.Errorf("campaign: checkpoint timing: %w", err)

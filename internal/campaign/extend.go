@@ -89,6 +89,7 @@ func TransientBreakdown(o Options, benchmark string, pulse uint64) (*TransientBr
 		InjectAtFraction: injectFraction,
 		PulseCycles:      pulse,
 		NoCheckpoint:     o.NoCheckpoint,
+		NoBatch:          o.NoBatch,
 	})
 	if err != nil {
 		return nil, err

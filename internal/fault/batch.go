@@ -1,0 +1,426 @@
+package fault
+
+import (
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+)
+
+// This file implements the bit-parallel (PPSFP) campaign engine: one
+// witnessed golden pass resolves up to 64 fault universes ("lanes") at
+// once, and only the lanes whose fault is actually read with a differing
+// value ever pay for a scalar simulation.
+//
+// Classic PPSFP packs one gate-level net's value across 64 test patterns
+// into a machine word. That transplant is impossible for a word-level
+// cycle-based RTL model — a 32-bit adder cannot be evaluated 64-ways
+// bitwise — so the bit-parallel dimension here is the *activation
+// predicate* instead. Fault forcing in the rtl kernel is strictly
+// read-side: an armed fault never mutates raw slab state, it only edits
+// the value consumers observe. A faulted universe whose raw state still
+// equals the golden run's therefore diverges exactly at the first cycle
+// where some process reads the faulted net and the forced bit differs
+// from the clean bit. During one shared golden continuation pass, a
+// rtl.Witness accumulates per-net read observations (Ones/Zeros masks);
+// whether any of a batch's lanes activates at a cycle is then one AND
+// per lane against its net's accumulator — all 64 bit positions of a net
+// checked at once, which is where the 64-way parallelism lives.
+//
+// Lanes that never activate are finalized from the golden trajectory
+// without simulating a single faulted cycle. Activated lanes fork a
+// scalar continuation from the golden state at their first activation
+// cycle (materialized from periodic pass snapshots, bounded replay) and
+// run the exact scalar engine loop from there — which is why a batched
+// campaign is byte-identical to a scalar one (TestEngineEquivalence
+// checks this for every fault model). A forked lane that heals — its
+// committed state re-equals a golden snapshot and its off-core write
+// position matches — is dropped back onto the golden trajectory, or
+// teleported forward to its next activation cycle.
+
+// batchSnapInterval is the spacing of the periodic golden-state
+// snapshots taken during a batch pass. It bounds lane materialization
+// (at most this many replayed clean cycles) and sets the granularity of
+// the reconvergence drop check.
+const batchSnapInterval = 128
+
+// maxBatchLanes is the lane capacity of one batch: the accumulator words
+// do not limit it (each lane checks one bit of its own net), but 64
+// keeps batch bookkeeping, pass snapshot lifetime and stop-rule
+// granularity bounded, and matches the PPSFP word width the design is
+// named for.
+const maxBatchLanes = 64
+
+// planItem is one dispatch granule of a campaign: a single scalar
+// experiment (lanes nil) or a batch of experiment indices.
+type planItem struct {
+	idx   int
+	lanes []int
+}
+
+// planBatches partitions a campaign's experiments into dispatch
+// granules. Experiments are batchable when the checkpointed engine is on
+// and the experiment is a forcing the witnessed pass can reason about:
+// the permanent models and SETPulse. BitFlip mutates raw state (its
+// effect can propagate through raw register copies without ever being
+// "read", so read-witness gating would be unsound), transients sampled
+// before the checkpoint cannot fork from it, and invalid nodes must
+// reproduce the scalar engine's inject-error result — all of those run
+// scalar. Batches are filled in input order; result content is
+// independent of the partition, so the plan shape is free to change
+// without affecting campaign or shard determinism.
+func (r *Runner) planBatches(exps []Experiment) []planItem {
+	lanes := r.opts.BatchLanes
+	if lanes <= 0 || lanes > maxBatchLanes {
+		lanes = maxBatchLanes
+	}
+	plan := make([]planItem, 0, len(exps))
+	if r.opts.NoBatch || !r.Checkpointed() {
+		for i := range exps {
+			plan = append(plan, planItem{idx: i})
+		}
+		return plan
+	}
+	eng := r.getEngine()
+	defer r.engines.Put(eng)
+	k := eng.core.K
+
+	var cur []int
+	flush := func() {
+		if len(cur) > 0 {
+			plan = append(plan, planItem{idx: -1, lanes: cur})
+			cur = nil
+		}
+	}
+	for i, e := range exps {
+		batchable := e.Model != rtl.BitFlip &&
+			!(e.Model.Transient() && e.AtCycle < r.opts.InjectAtCycle) &&
+			k.NodeValid(e.Node.Node)
+		if !batchable {
+			plan = append(plan, planItem{idx: i})
+			continue
+		}
+		cur = append(cur, i)
+		if len(cur) == lanes {
+			flush()
+		}
+	}
+	flush()
+	return plan
+}
+
+// lane is one fault universe of a batch.
+type lane struct {
+	e        Experiment
+	f        rtl.Fault
+	net      int    // witness net index
+	bit      uint64 // 1 << Node.Bit
+	injectAt uint64
+	pulseEnd uint64 // SETPulse window end; 0 for permanent models
+	// forcedOne is the armed polarity of the faulted bit. For the
+	// charge-sampling models it is derived from sampled, the net's raw
+	// word at the injection instant.
+	forcedOne bool
+	sampled   uint64
+	pending   bool // SETPulse lane whose instant the pass has not reached
+	// activateAt is the first golden cycle at which a consumer read the
+	// faulted net with a differing bit; active is false if that never
+	// happened.
+	active     bool
+	activateAt uint64
+}
+
+// activatesOn reports whether a golden-pass observation of the lane's
+// net activates the lane: some consumer read the faulted bit with the
+// polarity the forcing would invert.
+func (l *lane) activatesOn(a rtl.WitnessAcc) bool {
+	if l.forcedOne {
+		return a.Zeros&l.bit != 0
+	}
+	return a.Ones&l.bit != 0
+}
+
+// inWindow reports whether the lane's forcing is armed at golden cycle
+// t. Permanent lanes are armed from the injection instant onward;
+// SETPulse lanes only within their pulse window.
+func (l *lane) inWindow(t uint64) bool {
+	if t < l.injectAt || l.pending {
+		return false
+	}
+	return l.pulseEnd == 0 || t < l.pulseEnd
+}
+
+// passSnap is one periodic golden-state snapshot of a batch pass.
+type passSnap struct {
+	cycle  uint64
+	core   *leon3.Snapshot
+	img    *mem.Image
+	writes int
+}
+
+// runBatch executes one batch: a single witnessed golden continuation
+// pass over all lanes, then per-lane resolution. The returned results
+// are positionally parallel to idxs and byte-identical to what RunOne
+// would produce for each experiment.
+func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
+	ck := r.checkpoint()
+	var core *leon3.Core
+	if r.opts.NoPool {
+		core, _ = r.freshCore()
+	} else {
+		eng := r.getEngine()
+		defer r.engines.Put(eng)
+		core = eng.core
+	}
+
+	bus := mem.NewBus(ck.img.Fork())
+	core.Bus = bus
+	if err := core.Restore(ck.core); err != nil {
+		return r.runScalarFallback(exps, idxs)
+	}
+	bus.Trace.Exited, bus.Trace.ExitCode = ck.exited, ck.exitCode
+	start := core.Cycles()
+
+	// Build the lane set and the deduplicated witness net list (two
+	// lanes may fault different bits, or different models, of one net).
+	lanes := make([]*lane, len(idxs))
+	netIdx := map[rtl.WitnessNet]int{}
+	var nets []rtl.WitnessNet
+	pendingSamples := 0
+	for j, i := range idxs {
+		e := exps[i]
+		n := rtl.WitnessNet{Name: e.Node.Node.Name, Word: e.Node.Node.Word}
+		ni, ok := netIdx[n]
+		if !ok {
+			ni = len(nets)
+			netIdx[n] = ni
+			nets = append(nets, n)
+		}
+		l := &lane{
+			e:        e,
+			f:        rtl.Fault{Node: e.Node.Node, Model: e.Model},
+			net:      ni,
+			bit:      uint64(1) << e.Node.Node.Bit,
+			injectAt: r.armAt(e),
+		}
+		if e.Model == rtl.SETPulse {
+			l.pulseEnd = l.injectAt + r.opts.PulseCycles
+			l.pending = true
+			pendingSamples++
+		}
+		lanes[j] = l
+	}
+	w, err := core.K.StartWitness(nets)
+	if err != nil {
+		return r.runScalarFallback(exps, idxs)
+	}
+
+	// Arm the permanent lanes' polarities; the charge-sampling models
+	// read the net's raw word at the injection instant, which for
+	// permanents is the pass start (exactly the value a scalar Inject at
+	// that boundary would sample).
+	for _, l := range lanes {
+		switch l.e.Model {
+		case rtl.StuckAt1:
+			l.forcedOne = true
+		case rtl.StuckAt0:
+			l.forcedOne = false
+		case rtl.OpenLine:
+			l.sampled = w.Sample(l.net)
+			l.forcedOne = l.sampled&l.bit != 0
+		}
+	}
+
+	// The witnessed golden pass: one clean continuation from the
+	// checkpoint to program exit, recording per-cycle read observations
+	// for every lane net, sampling SETPulse instants as they are
+	// reached, and freezing periodic snapshots for lane materialization
+	// and the reconvergence drop check.
+	nNets := len(nets)
+	wave := make([]rtl.WitnessAcc, 0, nNets*int(r.GoldenCycles-start+1))
+	var snaps []passSnap
+	acc := w.Accs()
+	unresolved := len(lanes)
+	for core.Status() == iss.StatusRunning {
+		t := core.Cycles()
+		if (t-start)%batchSnapInterval == 0 {
+			snaps = append(snaps, passSnap{
+				cycle: t,
+				core:  core.Snapshot(),
+				img:   bus.Mem.Snapshot(),
+				// The forked bus's trace holds only post-checkpoint writes;
+				// comparators index the absolute golden stream.
+				writes: ck.writes + len(bus.Trace.Writes),
+			})
+		}
+		if pendingSamples > 0 {
+			for _, l := range lanes {
+				if l.pending && l.injectAt == t {
+					l.sampled = w.Sample(l.net)
+					// A SET glitch drives the complement of the charge.
+					l.forcedOne = l.sampled&l.bit == 0
+					l.pending = false
+					pendingSamples--
+				}
+			}
+		}
+		core.StepCycle()
+		wave = append(wave, acc...)
+		if unresolved > 0 {
+			for _, l := range lanes {
+				if !l.active && l.inWindow(t) && l.activatesOn(acc[l.net]) {
+					l.active, l.activateAt = true, t
+					unresolved--
+				}
+			}
+		}
+		for i := range acc {
+			acc[i] = rtl.WitnessAcc{}
+		}
+	}
+	w.Stop()
+	goldenEnd := core.Cycles()
+
+	// Lane resolution. Never-activated lanes tracked the golden
+	// trajectory bit-for-bit to program exit: no consumer ever read
+	// their faulted bit with a differing value, so the scalar run would
+	// have produced the golden trace and length exactly.
+	results := make([]Result, len(lanes))
+	for j, l := range lanes {
+		res := Result{
+			Fault:    l.f,
+			Unit:     l.e.Node.Unit,
+			Latency:  -1,
+			InjectAt: l.injectAt,
+		}
+		if !l.active {
+			res.Outcome = OutcomeNoEffect
+			res.Cycles = goldenEnd
+		} else {
+			r.runLane(core, ck, l, &res, snaps, wave, nNets, start, goldenEnd)
+		}
+		results[j] = res
+	}
+	return results
+}
+
+// runScalarFallback resolves a batch through the scalar engine — the
+// defensive path for a pass setup failure, which never happens with a
+// same-program core and plan-validated nodes.
+func (r *Runner) runScalarFallback(exps []Experiment, idxs []int) []Result {
+	out := make([]Result, len(idxs))
+	for j, i := range idxs {
+		out[j] = r.RunOne(exps[i])
+	}
+	return out
+}
+
+// materialize positions core (with a fresh bus and comparator) on the
+// golden trajectory at cycle t: restore the nearest periodic snapshot at
+// or before t, then replay clean cycles — at most batchSnapInterval of
+// them. The comparator comes out exactly as a scalar run's would at t:
+// no mismatch, write index at the golden position.
+func (r *Runner) materialize(core *leon3.Core, ck *checkpoint, snaps []passSnap, start, t uint64) (*mem.Bus, *comparator) {
+	s := snaps[int((t-start)/batchSnapInterval)]
+	bus := mem.NewBus(s.img.Fork())
+	core.Bus = bus
+	// Restore never fails here: the snapshot came from a same-program
+	// core a few calls up the stack.
+	core.Restore(s.core) //nolint:errcheck
+	bus.Trace.Exited, bus.Trace.ExitCode = ck.exited, ck.exitCode
+	c := r.watch(bus, core, s.writes)
+	for core.Cycles() < t && core.Status() == iss.StatusRunning {
+		core.StepCycle()
+	}
+	return bus, c
+}
+
+// nextActivation scans the recorded golden pass for the first cycle at
+// or after from where the lane's activation predicate holds, or -1 if
+// its fault is never again read with a differing bit.
+func (l *lane) nextActivation(wave []rtl.WitnessAcc, nNets int, start, from, goldenEnd uint64) int64 {
+	end := goldenEnd
+	if l.pulseEnd != 0 && l.pulseEnd < end {
+		end = l.pulseEnd
+	}
+	if from < l.injectAt {
+		from = l.injectAt
+	}
+	for t := from; t < end; t++ {
+		if l.activatesOn(wave[int(t-start)*nNets+l.net]) {
+			return int64(t)
+		}
+	}
+	return -1
+}
+
+// arm applies the lane's fault to a core positioned at or after the
+// injection instant, reproducing exactly the forcing a scalar Inject at
+// the original instant armed: the charge-sampling models take their
+// frozen value from the lane's recorded sample, not the present state.
+func (l *lane) arm(core *leon3.Core) error {
+	switch l.e.Model {
+	case rtl.OpenLine, rtl.SETPulse:
+		return core.K.InjectForced(l.f, l.sampled)
+	default:
+		return core.K.Inject(l.f)
+	}
+}
+
+// runLane resolves one activated lane: fork the golden state at the
+// first activation cycle, arm the fault, and run the scalar engine loop
+// from there. At periodic snapshot boundaries a diverged-but-healed lane
+// (committed state re-equals the golden snapshot, off-core write
+// position matches — which together imply identical memory, since every
+// off-core write flowed through the matching comparator) is dropped back
+// onto the golden trajectory: finalized as no-effect if its fault is
+// never read divergently again, teleported to the next activation cycle
+// if that is far away, or simply left running if it is near.
+func (r *Runner) runLane(core *leon3.Core, ck *checkpoint, l *lane, res *Result, snaps []passSnap, wave []rtl.WitnessAcc, nNets int, start, goldenEnd uint64) {
+	bus, c := r.materialize(core, ck, snaps, start, l.activateAt)
+	if err := l.arm(core); err != nil {
+		// Unreachable for plan-validated nodes; mirrors the scalar
+		// engine's inject-error result for robustness.
+		res.Outcome = OutcomeNoEffect
+		return
+	}
+	if l.e.Model == rtl.SETPulse {
+		for core.Cycles() < l.pulseEnd && core.Status() == iss.StatusRunning &&
+			core.Cycles() < r.budget && (r.opts.NoEarlyExit || c.mismatchAt < 0) {
+			core.StepCycle()
+		}
+		core.K.ClearFaults()
+	}
+	for core.Status() == iss.StatusRunning && core.Cycles() < r.budget &&
+		(r.opts.NoEarlyExit || c.mismatchAt < 0) {
+		core.StepCycle()
+		t := core.Cycles()
+		if c.mismatchAt >= 0 || (t-start)%batchSnapInterval != 0 {
+			continue
+		}
+		si := int((t - start) / batchSnapInterval)
+		if si >= len(snaps) || snaps[si].cycle != t {
+			continue // past the last golden snapshot (budget overrun region)
+		}
+		if c.idx != snaps[si].writes || !core.StateEquals(snaps[si].core) {
+			continue
+		}
+		// Healed: this universe is bit-identical to the golden run again.
+		next := l.nextActivation(wave, nNets, start, t, goldenEnd)
+		if next < 0 {
+			res.Outcome = OutcomeNoEffect
+			res.Cycles = goldenEnd
+			return
+		}
+		if uint64(next)-t > 2*batchSnapInterval {
+			// Teleport across the quiet stretch: re-fork at the next
+			// activation cycle instead of simulating golden cycles.
+			bus, c = r.materialize(core, ck, snaps, start, uint64(next))
+			if err := l.arm(core); err != nil {
+				res.Outcome = OutcomeNoEffect
+				return
+			}
+		}
+	}
+	r.classify(res, core, bus, c, l.injectAt)
+}

@@ -11,15 +11,17 @@ import (
 )
 
 // TestCampaignContextCancel pins the cancellation contract: cancelling
-// mid-campaign stops the worker loops within one experiment granule —
+// mid-campaign stops the worker loops within one dispatch granule —
 // already-completed experiments keep their results, the remainder never
-// run — and the partial results come back with ctx.Err().
+// run — and the partial results come back with ctx.Err(). Batching is
+// disabled so the granule is a single experiment; the batched granule
+// is pinned by TestCampaignStopContext.
 func TestCampaignContextCancel(t *testing.T) {
 	w, err := workloads.Build("excerptA", workloads.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3, NoBatch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,13 +89,14 @@ func TestCampaignContextComplete(t *testing.T) {
 // early stopping: the rule sees monotonically growing completion counts,
 // halting via it is a success (nil error) with a ran bitmap marking
 // exactly the completed prefix set, and experiments whose slot is unset
-// in the bitmap never executed.
+// in the bitmap never executed. The scalar engine stops within one
+// experiment per worker; the batched engine within one batch per worker.
 func TestCampaignStopContext(t *testing.T) {
 	w, err := workloads.Build("excerptA", workloads.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3, NoBatch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,6 +121,31 @@ func TestCampaignStopContext(t *testing.T) {
 	}
 	if completed < stopAt || completed > stopAt+2 {
 		t.Fatalf("%d experiments completed, want within one granule of %d", completed, stopAt)
+	}
+
+	// Under the bit-parallel engine the dispatch granule is one batch of
+	// up to 64 experiments per worker, so a stop overshoots by at most
+	// that much — never by the rest of the campaign.
+	rb, err := NewRunner(w.Program, Options{InjectAtFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ranB, err := rb.CampaignStopContext(context.Background(), exps, 2, nil,
+		func(done, failures int) bool { return done >= stopAt })
+	if err != nil {
+		t.Fatalf("batched stop-rule halt returned %v, want nil", err)
+	}
+	completedB := 0
+	for _, ok := range ranB {
+		if ok {
+			completedB++
+		}
+	}
+	if completedB < stopAt || completedB > stopAt+2*64 {
+		t.Fatalf("batched: %d experiments completed, want within one batch per worker of %d", completedB, stopAt)
+	}
+	if completedB >= len(exps) {
+		t.Fatalf("batched campaign ran to completion (%d) despite stop rule", completedB)
 	}
 
 	// Unstopped: every experiment runs, bitmap all true, identical to the

@@ -9,13 +9,15 @@ import (
 	"repro/internal/workloads"
 )
 
-// TestEngineEquivalence is the pooled slab engine's correctness contract:
-// the default engine (per-worker pooled cores restored in place from the
-// golden-run checkpoint) must produce bit-identical Result slices —
-// outcomes, latencies and run lengths, hence Pf — versus the PR-1
-// fork-per-experiment engine (a fresh core per experiment) and versus
-// from-reset re-simulation, across both injection targets and all three
-// permanent fault models.
+// TestEngineEquivalence is the campaign engines' correctness contract:
+// every engine combination — pooled or fork-per-experiment, checkpointed
+// or from-reset, scalar or bit-parallel at any lane count — must produce
+// bit-identical Result slices (outcomes, latencies, run lengths, hence
+// Pf) across both injection targets and all five fault models, with
+// transient instants scheduled over the full experiment list. The scalar
+// pooled checkpointed engine is the reference; the batched variants pin
+// DESIGN.md §10's claim that lane-masked execution is an optimization,
+// not an approximation.
 func TestEngineEquivalence(t *testing.T) {
 	w, err := workloads.Build("excerptA", workloads.Config{})
 	if err != nil {
@@ -25,31 +27,42 @@ func TestEngineEquivalence(t *testing.T) {
 		name string
 		opts Options
 	}{
-		{"pooled-checkpointed", Options{InjectAtFraction: 0.3}},
-		{"fork-per-experiment", Options{InjectAtFraction: 0.3, NoPool: true}},
+		{"scalar-pooled-checkpointed", Options{InjectAtFraction: 0.3, NoBatch: true}},
+		{"batched-64", Options{InjectAtFraction: 0.3}},
+		{"batched-8", Options{InjectAtFraction: 0.3, BatchLanes: 8}},
+		{"batched-1", Options{InjectAtFraction: 0.3, BatchLanes: 1}},
+		{"batched-fork-per-experiment", Options{InjectAtFraction: 0.3, NoPool: true}},
 		{"pooled-from-reset", Options{InjectAtFraction: 0.3, NoCheckpoint: true}},
 		{"unpooled-from-reset", Options{InjectAtFraction: 0.3, NoCheckpoint: true, NoPool: true}},
 	}
 	for _, target := range []Target{TargetIU, TargetCMEM} {
 		t.Run(target.String(), func(t *testing.T) {
 			var ref []Result
+			var batched *Runner
+			var scheduled []Experiment
 			for _, eng := range engines {
 				r, err := NewRunner(w.Program, eng.opts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				nodes := SampleNodes(r.Nodes(target), 6, 7)
-				exps := Expand(nodes, rtl.FaultModels()...)
+				exps := Expand(nodes, rtl.AllFaultModels()...)
+				// Same options-derived window and seed in every runner, so
+				// each engine sees identical transient instants.
+				r.ScheduleTransients(exps, 21)
 				results := r.Campaign(exps, 3)
 				if ref == nil {
 					ref = results
 					continue
 				}
+				if eng.name == "batched-64" {
+					batched, scheduled = r, exps
+				}
 				if !reflect.DeepEqual(ref, results) {
 					for i := range ref {
 						if !reflect.DeepEqual(ref[i], results[i]) {
-							t.Errorf("%s: experiment %d (%v) diverged: %+v vs %+v",
-								eng.name, i, exps[i].Node.Node, ref[i], results[i])
+							t.Errorf("%s: experiment %d (%v %v) diverged: %+v vs %+v",
+								eng.name, i, exps[i].Node.Node, exps[i].Model, ref[i], results[i])
 						}
 					}
 					t.Fatalf("%s: results differ from %s", eng.name, engines[0].name)
@@ -58,7 +71,49 @@ func TestEngineEquivalence(t *testing.T) {
 					t.Fatalf("%s: Pf %v != %v", eng.name, got, want)
 				}
 			}
+
+			// Sharded batched execution: running contiguous slices of the
+			// scheduled list as separate campaigns (the shard layer's
+			// currency — instants were assigned over the full list) and
+			// concatenating must reassemble the unsharded byte stream, no
+			// matter how the slicing interacts with batch boundaries.
+			var merged []Result
+			for lo := 0; lo < len(scheduled); {
+				hi := lo + 7
+				if hi > len(scheduled) {
+					hi = len(scheduled)
+				}
+				merged = append(merged, batched.Campaign(scheduled[lo:hi], 2)...)
+				lo = hi
+			}
+			if !reflect.DeepEqual(merged, ref) {
+				t.Fatal("sharded batched campaign diverged from unsharded results")
+			}
 		})
+	}
+}
+
+// TestBatchedCampaignRace drives the bit-parallel engine through a
+// parallel campaign with multiple concurrent batches, so `go test -race`
+// exercises concurrent witness arming on pooled cores, pass-snapshot
+// capture, copy-on-write image forks and per-lane materialization — and
+// the lane demultiplexing stays byte-identical to serial execution.
+func TestBatchedCampaignRace(t *testing.T) {
+	w, err := workloads.Build("excerptB", workloads.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(w.Program, Options{InjectAtFraction: 0.5, BatchLanes: 8, PulseCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := SampleNodes(r.Nodes(TargetIU), 12, 11)
+	exps := Expand(nodes, rtl.AllFaultModels()...)
+	r.ScheduleTransients(exps, 4)
+	par := r.Campaign(exps, 8)
+	ser := r.Campaign(exps, 1)
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel batched campaign diverged from serial")
 	}
 }
 

@@ -146,6 +146,21 @@ type Options struct {
 	// identical; the option exists for engine debugging and the
 	// engine-equivalence tests.
 	NoPool bool
+	// NoBatch disables the bit-parallel (PPSFP) campaign engine: every
+	// experiment then runs as its own scalar simulation instead of
+	// sharing one witnessed golden pass per batch of up to 64 fault
+	// universes (see batch.go and DESIGN.md §10). Results are identical;
+	// like NoPool and NoCheckpoint the toggle exists for debugging and
+	// the engine-equivalence tests. Batching also requires the
+	// checkpointed engine; with NoCheckpoint set or InjectAtCycle zero
+	// every experiment is scalar regardless of NoBatch.
+	NoBatch bool
+	// BatchLanes caps the number of fault universes a batch carries
+	// (DESIGN.md §10 ablates 1/8/32/64). Zero selects the full 64 lanes;
+	// values above 64 are clamped. One lane still exercises the batched
+	// engine (witnessed pass plus per-lane forks), just without lane
+	// sharing.
+	BatchLanes int
 }
 
 // Runner executes fault-injection experiments for one program.
@@ -529,9 +544,16 @@ func (r *Runner) CampaignContext(ctx context.Context, exps []Experiment, workers
 // and completion tracking, the engine entry point of sharded and adaptive
 // campaigns. After every completed experiment the stop rule — when
 // non-nil — is consulted with the running completion and failure counts;
-// once it returns true the campaign halts within one experiment granule
+// once it returns true the campaign halts within one dispatch granule
 // per worker, exactly like a context cancellation, but with a nil error:
 // stopping adaptively is a successful outcome, not an abort.
+//
+// The dispatch granule is one batch of up to 64 experiments under the
+// bit-parallel engine (see batch.go), or one experiment when batching is
+// off. A stop or cancellation therefore overshoots by at most one batch
+// per worker; every experiment a finished granule covered is tallied and
+// reported, so the stop rule's decisions remain a function of completed
+// experiment counts only.
 //
 // The returned ran bitmap marks which experiments actually executed, so
 // callers of a stopped or cancelled campaign can distinguish a completed
@@ -551,21 +573,32 @@ func (r *Runner) CampaignStopContext(ctx context.Context, exps []Experiment, wor
 	}
 	var mu sync.Mutex
 	done, failures := 0, 0
-	err := runIndexed(cctx, len(exps), workers, func(i int) {
-		results[i] = r.RunOne(exps[i])
+	deliver := func(i int, res Result) {
+		results[i] = res
 		mu.Lock()
 		ran[i] = true
 		done++
-		if results[i].Outcome.IsFailure() {
+		if res.Outcome.IsFailure() {
 			failures++
 		}
 		d, f := done, failures
 		mu.Unlock()
 		if tap != nil {
-			tap(i, results[i])
+			tap(i, res)
 		}
 		if stop != nil && stop(d, f) {
 			cancel()
+		}
+	}
+	plan := r.planBatches(exps)
+	err := runIndexed(cctx, len(plan), workers, func(pi int) {
+		item := plan[pi]
+		if item.lanes == nil {
+			deliver(item.idx, r.RunOne(exps[item.idx]))
+			return
+		}
+		for j, res := range r.runBatch(exps, item.lanes) {
+			deliver(item.lanes[j], res)
 		}
 	})
 	if err != nil && ctx.Err() == nil {

@@ -82,6 +82,12 @@ type Request struct {
 	// NoCheckpoint re-simulates every experiment from reset (engine
 	// debugging only; results are identical).
 	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
+	// NoBatch disables the bit-parallel (PPSFP) engine so every
+	// experiment runs as its own scalar simulation (engine debugging
+	// only; results are identical). Like no_checkpoint it is omitted
+	// from the encoding when false, so pre-existing requests keep their
+	// content addresses.
+	NoBatch bool `json:"no_batch,omitempty"`
 	// Epsilon, when nonzero, enables adaptive early stopping: the campaign
 	// halts — and outstanding shards are cancelled — once the Wilson 95%
 	// half-width around the progressive Pf drops to Epsilon or below. The
@@ -429,6 +435,7 @@ func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
 				InjectAtFraction: n.InjectAtFraction,
 				PulseCycles:      n.PulseCycles,
 				NoCheckpoint:     n.NoCheckpoint,
+				NoBatch:          n.NoBatch,
 			})
 		ch <- built{r, err}
 	}()

@@ -23,7 +23,6 @@ func (c *Core) executeComb() {
 	c.wMatch.SetBool(false)
 	c.wBrTaken.SetBool(false)
 	c.wAluOut.Set(0)
-	c.wAluCC.Set(c.arch.icc.Get())
 	c.wShOut.Set(0)
 	c.wMemAddr.Set(0)
 	c.wNextCWP.Set(c.arch.cwp.Get())
@@ -91,11 +90,16 @@ func (c *Core) executeComb() {
 		return
 	}
 
+	// Operand reads happen inside the cases that consume them (and the
+	// case-specific helpers below), never eagerly: a read-witness on the
+	// EX operand registers or the condition codes must see only true
+	// consumption. cwp is genuinely consumed every cycle (the wNextCWP
+	// default above already reads it).
 	op := sparc.Op(c.ex.op.Get())
-	a := u32(c.ex.a)
-	b := u32(c.ex.b)
 	cwp := c.arch.cwp.Get()
-	icc := sparc.CCFromBits(uint32(c.arch.icc.Get()))
+	opA := func() uint32 { return u32(c.ex.a) }
+	opB := func() uint32 { return u32(c.ex.b) }
+	archICC := func() sparc.CC { return sparc.CCFromBits(uint32(c.arch.icc.Get())) }
 
 	trap := func(tt uint8) {
 		c.wExTrap.SetBool(true)
@@ -155,6 +159,7 @@ func (c *Core) executeComb() {
 		return
 
 	case op == sparc.OpSETHI:
+		b := opB()
 		c.wAluOut.Set(uint64(b))
 		commit(true, c.ex.rd.Get(), b)
 		advance()
@@ -162,7 +167,7 @@ func (c *Core) executeComb() {
 		return
 
 	case op.IsBicc():
-		taken := sparc.EvalCond(uint32(c.ex.cond.Get()), icc)
+		taken := sparc.EvalCond(uint32(c.ex.cond.Get()), archICC())
 		c.wBrTaken.SetBool(taken)
 		if taken {
 			t := pc + u32(c.ex.disp)<<2
@@ -188,8 +193,8 @@ func (c *Core) executeComb() {
 		return
 
 	case op.IsTicc():
-		if sparc.EvalCond(uint32(c.ex.cond.Get()), icc) {
-			trap(uint8(iss.TrapInstBase + (a+b)&0x7f))
+		if sparc.EvalCond(uint32(c.ex.cond.Get()), archICC()) {
+			trap(uint8(iss.TrapInstBase + (opA()+opB())&0x7f))
 			return
 		}
 		advance()
@@ -198,7 +203,7 @@ func (c *Core) executeComb() {
 		return
 
 	case op == sparc.OpJMPL:
-		t := a + b
+		t := opA() + opB()
 		c.wMemAddr.Set(uint64(t))
 		if t&3 != 0 {
 			trap(iss.TrapMemNotAligned)
@@ -218,7 +223,7 @@ func (c *Core) executeComb() {
 			trap(iss.TrapPrivilegedInst)
 			return
 		}
-		t := a + b
+		t := opA() + opB()
 		if t&3 != 0 {
 			trap(iss.TrapMemNotAligned)
 			return
@@ -251,7 +256,7 @@ func (c *Core) executeComb() {
 			trap(tt)
 			return
 		}
-		sum := a + b
+		sum := opA() + opB()
 		c.wAluOut.Set(uint64(sum))
 		c.arch.cwp.SetNext(newCWP)
 		c.wNextCWP.Set(newCWP)
@@ -261,18 +266,20 @@ func (c *Core) executeComb() {
 		return
 
 	case op.IsMemory():
-		c.executeMemOp(op, a, b, trap, advance, retire)
+		c.executeMemOp(op, opA(), opB(), trap, advance, retire)
 		return
 
 	case op >= sparc.OpUMUL && op <= sparc.OpSDIVCC:
-		c.executeMulDiv(op, a, b, trap, advance, retire, commit)
+		c.executeMulDiv(op, opA(), opB(), trap, advance, retire, commit)
 		return
 	}
 
-	// Single-cycle ALU and state-register operations.
-	res, cc, ok := c.aluOp(op, a, b, icc)
+	// Single-cycle ALU and state-register operations (all consume both
+	// operands).
+	a, b := opA(), opB()
+	res, cc, ok := c.aluOp(op, a, b, archICC())
 	if !ok {
-		trap(c.aluTrapType(op, b))
+		trap(c.aluTrapType(op))
 		return
 	}
 	c.wAluOut.Set(uint64(res))
@@ -309,7 +316,7 @@ func (c *Core) executeComb() {
 }
 
 // aluTrapType returns the trap a failed ALU op raises.
-func (c *Core) aluTrapType(op sparc.Op, b uint32) uint8 {
+func (c *Core) aluTrapType(op sparc.Op) uint8 {
 	switch op {
 	case sparc.OpRDPSR, sparc.OpRDWIM, sparc.OpRDTBR, sparc.OpWRPSR, sparc.OpWRWIM, sparc.OpWRTBR:
 		if !c.arch.sS.GetBool() {
@@ -470,7 +477,11 @@ func (c *Core) executeMemOp(op sparc.Op, a, b uint32, trap func(uint8), advance,
 	c.me.size.SetNext(size)
 	c.me.signed.SetNextBool(op == sparc.OpLDSB || op == sparc.OpLDSH)
 	c.me.addr.SetNext(uint64(addr))
-	c.me.wdata.SetNext(c.ex.sd.Get())
+	if op.IsStore() {
+		// Loads never consume the write-data port; reading sd for them
+		// would make every load an observer of the store-data path.
+		c.me.wdata.SetNext(c.ex.sd.Get())
+	}
 	c.me.swap.SetNextBool(op == sparc.OpSWAP)
 	c.me.stub.SetNextBool(op == sparc.OpLDSTUB)
 

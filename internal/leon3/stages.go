@@ -19,18 +19,35 @@ func (c *Core) writebackComb() {
 			c.rf.Write(int(idx), c.wb.wb2Val.Get())
 		}
 	}
+	// The index/value ports are only latched behind their enables, so a
+	// read-witness on the XC registers observes true consumption: a
+	// bubble's (or non-writeback instruction's) stale port values never
+	// reach the register file.
 	valid := c.xc.valid.GetBool()
-	c.wb.wbEn.SetNextBool(valid && c.xc.wbEn.GetBool())
-	c.wb.wbIdx.SetNext(c.xc.wbIdx.Get())
-	c.wb.wbVal.SetNext(c.xc.wbVal.Get())
-	c.wb.wb2En.SetNextBool(valid && c.xc.wb2En.GetBool())
-	c.wb.wb2Idx.SetNext(c.xc.wb2Idx.Get())
-	c.wb.wb2Val.SetNext(c.xc.wb2Val.Get())
+	wbEn := valid && c.xc.wbEn.GetBool()
+	c.wb.wbEn.SetNextBool(wbEn)
+	if wbEn {
+		c.wb.wbIdx.SetNext(c.xc.wbIdx.Get())
+		c.wb.wbVal.SetNext(c.xc.wbVal.Get())
+	}
+	wb2En := valid && c.xc.wb2En.GetBool()
+	c.wb.wb2En.SetNextBool(wb2En)
+	if wb2En {
+		c.wb.wb2Idx.SetNext(c.xc.wb2Idx.Get())
+		c.wb.wb2Val.SetNext(c.xc.wb2Val.Get())
+	}
 }
 
 // decodeComb decodes the instruction in DE into control wires and latches
 // them into the RA stage registers.
 func (c *Core) decodeComb() {
+	// A fetch bubble decodes nothing: only the valid bit propagates. The
+	// RA operand registers keep their stale contents, which regaccessComb
+	// never reads for an invalid slot.
+	if !c.de.valid.GetBool() {
+		c.ra.valid.SetNext(0)
+		return
+	}
 	word := u32(c.de.inst)
 	in := sparc.Decode(word)
 	c.wDeOp.Set(uint64(in.Op))
@@ -52,7 +69,7 @@ func (c *Core) decodeComb() {
 	c.wDeAnnul.SetBool(in.Annul)
 	c.wDeCond.Set(uint64(in.Op.Cond()))
 
-	c.ra.valid.SetNext(c.de.valid.Get())
+	c.ra.valid.SetNext(1)
 	c.ra.pc.SetNext(c.de.pc.Get())
 	c.ra.op.SetNext(c.wDeOp.Get())
 	c.ra.rd.SetNext(c.wDeRd.Get())
@@ -72,8 +89,6 @@ func (c *Core) decodeComb() {
 // cycle.
 func (c *Core) memoryComb() {
 	c.wDcStall.SetBool(false)
-	c.wMeWbVal.Set(c.me.result.Get())
-	c.wMeWb2Val.Set(c.me.wb2Val.Get())
 
 	bubble := func() {
 		c.xc.valid.SetNext(0)
@@ -84,17 +99,37 @@ func (c *Core) memoryComb() {
 		bubble()
 		return
 	}
-	pass := func(val, val2 uint64) {
+	// pass advances ME -> XC. The writeback value ports (and the bypass
+	// wires the younger stages snoop) are only touched behind their
+	// enables, and the value closures defer the ME register reads until
+	// an enable proves the value is consumed.
+	pass := func(val, val2 func() uint64) {
 		c.xc.valid.SetNext(1)
-		c.xc.wbEn.SetNext(c.me.wbEn.Get())
-		c.xc.wbIdx.SetNext(c.me.wbIdx.Get())
-		c.xc.wbVal.SetNext(val)
-		c.xc.wb2En.SetNext(c.me.wb2En.Get())
-		c.xc.wb2Idx.SetNext(c.me.wb2Idx.Get())
-		c.xc.wb2Val.SetNext(val2)
+		wbEn := c.me.wbEn.GetBool()
+		c.xc.wbEn.SetNextBool(wbEn)
+		if wbEn {
+			c.xc.wbIdx.SetNext(c.me.wbIdx.Get())
+			c.xc.wbVal.SetNext(val())
+		}
+		wb2En := c.me.wb2En.GetBool()
+		c.xc.wb2En.SetNextBool(wb2En)
+		if wb2En {
+			c.xc.wb2Idx.SetNext(c.me.wb2Idx.Get())
+			c.xc.wb2Val.SetNext(val2())
+		}
+	}
+	meResult := func() uint64 {
+		v := c.me.result.Get()
+		c.wMeWbVal.Set(v)
+		return v
+	}
+	meWb2 := func() uint64 {
+		v := c.me.wb2Val.Get()
+		c.wMeWb2Val.Set(v)
+		return v
 	}
 	if !c.me.isMem.GetBool() {
-		pass(c.me.result.Get(), c.me.wb2Val.Get())
+		pass(meResult, meWb2)
 		return
 	}
 
@@ -159,7 +194,7 @@ func (c *Core) memoryComb() {
 			loaded = uint64(word)
 		}
 	}
-	loaded2 := c.me.wb2Val.Get()
+	var loaded2 uint64
 	if load && c.me.dbl.GetBool() {
 		loaded2 = c.dc.data.Read(idx*lineWords + (off | 1))
 	}
@@ -206,16 +241,25 @@ func (c *Core) memoryComb() {
 
 	if load {
 		c.wMeWbVal.Set(loaded)
-		c.wMeWb2Val.Set(loaded2)
-		pass(loaded, loaded2)
+		if c.me.dbl.GetBool() {
+			c.wMeWb2Val.Set(loaded2)
+		}
+		pass(func() uint64 { return loaded }, func() uint64 { return loaded2 })
 		return
 	}
-	pass(c.me.result.Get(), c.me.wb2Val.Get())
+	pass(meResult, meWb2)
 }
 
 // regaccessComb reads the register file with full bypassing from the
 // EX/ME/XC stages, latches operands into EX and raises the load-use stall.
 func (c *Core) regaccessComb() {
+	// A bubble touches no operand state: it neither reads the register
+	// file nor latches the EX operand registers.
+	if !c.ra.valid.GetBool() {
+		c.ex.valid.SetNext(0)
+		c.wLoadUse.SetBool(false)
+		return
+	}
 	w := c.wNextCWP.Get()
 	read := func(r uint64) uint64 {
 		idx := physReg(w, r&31)
@@ -249,35 +293,54 @@ func (c *Core) regaccessComb() {
 	rs2 := c.ra.rs2.Get()
 	rd := c.ra.rd.Get()
 	op := sparc.Op(c.ra.op.Get())
-
-	op1 := read(rs1)
-	op2 := c.ra.simm.Get()
 	useRs2 := !c.ra.imm.GetBool()
-	if useRs2 {
-		op2 = read(rs2)
+
+	// Operand consumption by op class. Branch-steering ops (Bicc, CALL)
+	// and undecodable words never touch the operand datapath, SETHI
+	// consumes only its immediate, and only stores read rd as data. Reads
+	// the EX stage will not consume are not performed at all, so a
+	// read-witness on the register file or the RA operand registers
+	// observes true consumption only (the batched campaign engine's
+	// activation predicate depends on this; see rtl.StartWitness).
+	needA := !(op == sparc.OpUnknown || op == sparc.OpSETHI || op.IsBicc() || op == sparc.OpCALL)
+	if needA {
+		c.wRaOp1.Set(read(rs1))
+		c.ex.a.SetNext(c.wRaOp1.Get())
 	}
-	sd := read(rd) // store data (also WRPSR-style rd field reuse is harmless)
+	if needA || op == sparc.OpSETHI {
+		op2 := uint64(0)
+		if useRs2 {
+			op2 = read(rs2)
+		} else {
+			op2 = c.ra.simm.Get()
+		}
+		c.wRaOp2.Set(op2)
+		c.ex.b.SetNext(c.wRaOp2.Get())
+	}
+	if op.IsStore() {
+		c.wRaSd.Set(read(rd))
+		c.ex.sd.SetNext(c.wRaSd.Get())
+	}
+	if op.IsBicc() || op == sparc.OpCALL {
+		c.ex.disp.SetNext(c.ra.disp.Get())
+	}
+	if op.IsBicc() || op.IsTicc() {
+		c.ex.cond.SetNext(c.ra.cond.Get())
+	}
+	if op.IsBicc() {
+		c.ex.annul.SetNext(c.ra.annul.Get())
+	}
 
-	c.wRaOp1.Set(op1)
-	c.wRaOp2.Set(op2)
-	c.wRaSd.Set(sd)
-
-	c.ex.valid.SetNext(c.ra.valid.Get())
+	c.ex.valid.SetNext(1)
 	c.ex.pc.SetNext(c.ra.pc.Get())
 	c.ex.op.SetNext(c.ra.op.Get())
 	c.ex.rd.SetNext(rd)
-	c.ex.a.SetNext(c.wRaOp1.Get())
-	c.ex.b.SetNext(c.wRaOp2.Get())
-	c.ex.sd.SetNext(c.wRaSd.Get())
-	c.ex.disp.SetNext(c.ra.disp.Get())
-	c.ex.annul.SetNext(c.ra.annul.Get())
-	c.ex.cond.SetNext(c.ra.cond.Get())
 	c.ex.rs1.SetNext(rs1)
 
 	// Load-use hazard: the instruction in EX is a load whose destination
 	// feeds one of our sources; its data only exists at ME next cycle.
 	lu := false
-	if c.ra.valid.GetBool() && c.ex.valid.GetBool() && c.wMatch.GetBool() {
+	if c.ex.valid.GetBool() && c.wMatch.GetBool() {
 		exOp := sparc.Op(c.ex.op.Get())
 		if exOp.IsLoad() {
 			dst := physReg(c.wNextCWP.Get(), c.ex.rd.Get()&31)
@@ -289,9 +352,6 @@ func (c *Core) regaccessComb() {
 				}
 				return i == dst || (dbl && i == (dst|1))
 			}
-			needSd := op.IsStore() || op == sparc.OpWRY || op == sparc.OpWRPSR ||
-				op == sparc.OpWRWIM || op == sparc.OpWRTBR
-			_ = needSd // sd is always read; treat rd as a source for stores only
 			if match(rs1) || (useRs2 && match(rs2)) || (op.IsStore() && match(rd)) {
 				lu = true
 			}

@@ -115,6 +115,25 @@ func (k *Kernel) Inject(f Fault) error {
 	if f.Model == BitFlip {
 		return k.FlipBit(f.Node)
 	}
+	return k.inject(f, 0, false)
+}
+
+// InjectForced arms f like Inject, except that the charge-sampling
+// models (OpenLine, SETPulse) derive their frozen value from sampled —
+// the raw value the net carried at the experiment's injection instant —
+// instead of the net's present value. The batched campaign engine uses
+// it to arm a fault on a core forked at a later cycle while reproducing
+// exactly the forcing a scalar run armed at the original instant would
+// carry. Stuck-at models ignore sampled; BitFlip is not a forcing and is
+// rejected.
+func (k *Kernel) InjectForced(f Fault, sampled uint64) error {
+	if f.Model == BitFlip {
+		return fmt.Errorf("rtl: InjectForced cannot arm %v (state mutation, not a forcing)", f)
+	}
+	return k.inject(f, sampled, true)
+}
+
+func (k *Kernel) inject(f Fault, sampled uint64, haveSample bool) error {
 	bit := uint64(1) << f.Node.Bit
 	for _, s := range k.signals {
 		if s.name != f.Node.Name {
@@ -126,6 +145,10 @@ func (k *Kernel) Inject(f Fault) error {
 		if s.fMask == 0 {
 			k.fSigs = append(k.fSigs, s)
 		}
+		cur := *s.curp
+		if haveSample {
+			cur = sampled
+		}
 		s.fMask |= bit
 		switch f.Model {
 		case StuckAt1:
@@ -133,9 +156,9 @@ func (k *Kernel) Inject(f Fault) error {
 		case StuckAt0:
 			s.fVal &^= bit
 		case OpenLine:
-			s.fVal = s.fVal&^bit | *s.curp&bit
+			s.fVal = s.fVal&^bit | cur&bit
 		case SETPulse:
-			s.fVal = s.fVal&^bit | ^*s.curp&bit
+			s.fVal = s.fVal&^bit | ^cur&bit
 		}
 		s.updateSlow()
 		k.faults = append(k.faults, f)
@@ -155,6 +178,10 @@ func (k *Kernel) Inject(f Fault) error {
 		if a.fWord < 0 {
 			k.fArrs = append(k.fArrs, a)
 		}
+		cur := a.data[f.Node.Word]
+		if haveSample {
+			cur = sampled
+		}
 		a.fWord = f.Node.Word
 		a.fMask |= bit
 		switch f.Model {
@@ -163,9 +190,9 @@ func (k *Kernel) Inject(f Fault) error {
 		case StuckAt0:
 			a.fVal &^= bit
 		case OpenLine:
-			a.fVal = a.fVal&^bit | a.data[f.Node.Word]&bit
+			a.fVal = a.fVal&^bit | cur&bit
 		case SETPulse:
-			a.fVal = a.fVal&^bit | ^a.data[f.Node.Word]&bit
+			a.fVal = a.fVal&^bit | ^cur&bit
 		}
 		k.faults = append(k.faults, f)
 		k.dirty = true

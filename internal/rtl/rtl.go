@@ -8,7 +8,22 @@
 // of MEFISTO [Jenn et al., FTCS 1994]: faults are forced onto existing
 // signals without instrumenting the model. Three permanent fault models
 // are supported — stuck-at-0, stuck-at-1 and open-line (a disconnected
-// driver whose net retains the charge it had at injection time).
+// driver whose net retains the charge it had at injection time) — plus
+// two transient models: bit-flip (a single-event upset that inverts the
+// committed value once) and SET pulse (the bit forced to its complement
+// for a bounded window, then released).
+//
+// Fault forcing is read-side for every model except bit-flip: Inject
+// never rewrites slab state, it only redirects what consumers observe.
+// That property is the seam the bit-parallel (PPSFP) campaign engine is
+// built on: StartWitness arms per-net read observation, each cycle's
+// WitnessAcc records exactly which bit values the design consumed, and a
+// fault universe whose forced value is never read differently from the
+// golden run provably cannot diverge — one witnessed golden pass
+// therefore resolves up to 64 such universes (lanes) at once (see
+// internal/fault and DESIGN.md §10). InjectForced arms open-line and
+// SET-pulse faults with an externally sampled charge so a lane's fork
+// reproduces the scalar engine's injection instant exactly.
 //
 // # Slab state layout
 //
@@ -47,7 +62,7 @@ type Signal struct {
 	nxtp *uint64 // pending value (slab slot)
 	mask uint64  // width mask
 
-	slow  uint8 // nonzero when a fault or bridge is armed on this net
+	slow  uint8 // nonzero when a fault, bridge or witness is armed on this net
 	reg   bool
 	width int
 	idx   int32 // index within the reg or wire slab
@@ -55,7 +70,8 @@ type Signal struct {
 	fMask uint64 // faulted bits
 	fVal  uint64 // values of faulted bits
 
-	bridges []bridge // saboteur-style shorts to other nets
+	bridges []bridge    // saboteur-style shorts to other nets
+	obs     *WitnessAcc // read-observation accumulator (nil unless witnessed)
 
 	k    *Kernel
 	name string
@@ -82,9 +98,10 @@ func (s *Signal) Get() uint64 {
 }
 
 // getSlow samples the signal with the armed fault forcing and bridge
-// resolution applied. It is kept out of line so that Get (and GetBool)
-// stay small enough to inline at every sampling site; the call is taken
-// only on the faulted net, a handful of times per cycle at most.
+// resolution applied, and records the sampled value into the witness
+// accumulator when one is armed. It is kept out of line so that Get (and
+// GetBool) stay small enough to inline at every sampling site; the call
+// is taken only on faulted or witnessed nets.
 //
 //go:noinline
 func (s *Signal) getSlow() uint64 {
@@ -92,12 +109,17 @@ func (s *Signal) getSlow() uint64 {
 	if s.bridges != nil {
 		v = s.applyBridges(v)
 	}
+	if s.obs != nil {
+		s.obs.Ones |= v
+		s.obs.Zeros |= ^v
+	}
 	return v
 }
 
-// updateSlow recomputes the slow-path flag after fault or bridge changes.
+// updateSlow recomputes the slow-path flag after fault, bridge or
+// witness changes.
 func (s *Signal) updateSlow() {
-	if s.fMask != 0 || s.bridges != nil {
+	if s.fMask != 0 || s.bridges != nil || s.obs != nil {
 		s.slow = 1
 	} else {
 		s.slow = 0
@@ -150,6 +172,8 @@ type MemArray struct {
 	fMask uint64
 	fVal  uint64
 
+	obs []*WitnessAcc // per-word read observers (nil unless witnessed)
+
 	off   int // word offset into the kernel array slab
 	width int
 	name  string
@@ -164,11 +188,18 @@ func (a *MemArray) Len() int { return len(a.data) }
 // Width returns the word width in bits.
 func (a *MemArray) Width() int { return a.width }
 
-// Read samples word i with any injected fault applied.
+// Read samples word i with any injected fault applied, recording the
+// sampled value when the word is witnessed.
 func (a *MemArray) Read(i int) uint64 {
 	v := a.data[i]
 	if i == a.fWord {
 		v = (v &^ a.fMask) | a.fVal
+	}
+	if a.obs != nil {
+		if w := a.obs[i]; w != nil {
+			w.Ones |= v
+			w.Zeros |= ^v
+		}
 	}
 	return v
 }

@@ -1,6 +1,9 @@
 package rtl
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Snapshot captures the full dynamic state of a kernel at a cycle
 // boundary: the committed and pending value of every signal, the contents
@@ -61,4 +64,28 @@ func (k *Kernel) Restore(s *Snapshot) error {
 	copy(k.arr, s.arr)
 	k.cycle = s.cycle
 	return nil
+}
+
+// StateEquals reports whether the kernel's committed state at a cycle
+// boundary equals the snapshot's: same cycle count, same register slab,
+// same array slab. Two slabs are deliberately not compared:
+//
+//   - the pending register slab, because the clock edge commits with a
+//     bulk copy (regCur := regNxt), so at any cycle boundary the two
+//     register slabs are identical;
+//   - the wire slabs, because in a well-formed design every wire is
+//     driven before it is read within a cycle — wire slots carry no
+//     information across the clock edge, so two kernels with equal
+//     register and array state produce identical futures even if stale
+//     wire residue differs. leon3's TestWiresCarryNoState enforces this
+//     property dynamically.
+//
+// The batched campaign engine uses StateEquals as its reconvergence
+// check: a forked fault universe whose raw state re-equals a golden
+// snapshot (and whose off-core write position matches) has healed and
+// will track the golden run for as long as its fault stays unread.
+func (k *Kernel) StateEquals(s *Snapshot) bool {
+	return k.cycle == s.cycle &&
+		slices.Equal(k.regCur, s.regCur) &&
+		slices.Equal(k.arr, s.arr)
 }
