@@ -12,7 +12,7 @@ GO ?= go
 # on dedicated hardware: BENCH_TOLERANCE=0.15 make bench-check.
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke vet fmt-check staticcheck lint
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke crash-smoke vet fmt-check staticcheck lint
 
 all: build test
 
@@ -91,6 +91,17 @@ serve-smoke:
 # unsharded CLI (and the in-process -shards mode, both targets).
 shard-smoke:
 	$(GO) run ./cmd/shardsmoke
+
+# Hermetic crash-recovery smoke: boots a durable (-data-dir) coordinator
+# plus 3 workers, SIGKILLs the coordinator at three journal-growth-gated
+# points mid-campaign (one cycle also SIGKILLs a worker), restarts it on
+# the same address each time, and asserts the recovered merged result is
+# byte-identical to an undisturbed unsharded run — then proves a final
+# restart serves the finished result straight from the on-disk store
+# with zero engine executions. Kill points are randomized; pin a failing
+# schedule with `go run ./cmd/crashsmoke -seed N` (the seed is logged).
+crash-smoke:
+	$(GO) run ./cmd/crashsmoke
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,430 @@
+// Command crashsmoke is the hermetic crash-recovery smoke test behind
+// `make crash-smoke`: it builds faultserverd and faultcampaign, boots a
+// durable coordinator (-data-dir) in remote-only shard mode plus three
+// worker processes, submits a 240-experiment campaign, and then
+// SIGKILLs the coordinator — no shutdown hooks, no warning — at three
+// journal-growth-gated points (one cycle also SIGKILLs a worker),
+// restarting it on the same address each time. The workers are never
+// told anything happened; they ride out the dead coordinator on their
+// jittered lease backoff, get 410 Gone for leases the restarted
+// process has never heard of, and pull fresh leases from the recovered
+// campaign.
+//
+// The assertions are the durability contract end to end:
+//
+//   - every restarted coordinator resumes the in-flight campaign from
+//     its journal (resubmitting the spec coalesces, HTTP 200 — never a
+//     fresh 201);
+//   - the merged outcome after three crashes is byte-identical to
+//     `faultcampaign -json` run undisturbed and unsharded;
+//   - a final SIGKILL+restart serves a resubmission of the same spec
+//     straight from the on-disk result store: state "done" immediately,
+//     zero engine executions on the fresh process, same result bytes.
+//
+// Kill points are randomized; the seed is logged and can be pinned with
+// -seed to replay a failing schedule. Needs only the go toolchain and a
+// TCP loopback.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// spec is sized so three kill/restart cycles fit comfortably inside the
+// campaign: 240 experiments (120 nodes x sa0,sa1) at 100 kernel
+// iterations, split 24 ways so the journal grows shard by shard. No
+// epsilon: adaptive early stopping is order-sensitive, and this test is
+// about byte-identity across crashes.
+var spec = map[string]interface{}{
+	"workload":           "rspeed",
+	"iterations":         100,
+	"target":             "iu",
+	"models":             []string{"sa0", "sa1"},
+	"nodes":              120,
+	"seed":               1,
+	"inject_at_fraction": 0.3,
+}
+
+var cliArgs = []string{
+	"-w", "rspeed", "-iters", "100", "-target", "iu", "-models", "sa0,sa1",
+	"-nodes", "120", "-seed", "1", "-inject-frac", "0.3", "-json",
+}
+
+const killCycles = 3
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crashsmoke: ")
+	seed := flag.Int64("seed", 0, "kill-schedule seed (0 = derive from the clock)")
+	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	log.Printf("kill-schedule seed %d (replay with -seed %d)", *seed, *seed)
+	if err := run(rand.New(rand.NewSource(*seed))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crashsmoke: OK")
+}
+
+func run(rng *rand.Rand) error {
+	dir, err := os.MkdirTemp("", "crashsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	serverBin := filepath.Join(dir, "faultserverd")
+	cliBin := filepath.Join(dir, "faultcampaign")
+	for bin, pkg := range map[string]string{
+		serverBin: "./cmd/faultserverd",
+		cliBin:    "./cmd/faultcampaign",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	dataDir := filepath.Join(dir, "data")
+	journal := filepath.Join(dataDir, "journal.ndjson")
+
+	// The coordinator must come back on the same address after each
+	// SIGKILL so the workers' configured URL stays valid: reserve a free
+	// port once and reuse it for every boot.
+	addr, err := reservePort()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	coord, err := startCoordinator(serverBin, addr, dataDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if coord != nil && coord.Process != nil {
+			coord.Process.Kill()
+			coord.Wait()
+		}
+	}()
+
+	// Three worker processes with a tight backoff cap so they re-attach
+	// within ~1s of a coordinator resurrection.
+	workers := make(map[int]*exec.Cmd)
+	defer func() {
+		for _, w := range workers {
+			w.Process.Signal(syscall.SIGTERM)
+			w.Wait()
+		}
+	}()
+	startWorker := func(i int) error {
+		w := exec.Command(serverBin, "-worker", "-coordinator", base,
+			"-worker-id", fmt.Sprintf("w%d", i), "-campaign-workers", "1",
+			"-worker-backoff-max", "500ms")
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			return err
+		}
+		workers[i] = w
+		return nil
+	}
+	for i := 1; i <= 3; i++ {
+		if err := startWorker(i); err != nil {
+			return err
+		}
+	}
+	log.Printf("3 workers pulling shards from %s", base)
+
+	body, _ := json.Marshal(spec)
+	id, code, err := submit(base, body)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("first submission: HTTP %d, want 201", code)
+	}
+	log.Printf("campaign %s submitted (240 experiments, 24 shards)", id)
+
+	// Kill/restart cycles, each gated on durable progress: wait until the
+	// journal has recorded at least one more completed shard than when
+	// this coordinator incarnation started, linger a random beat, then
+	// SIGKILL. Cycle 2 also SIGKILLs a worker mid-flight.
+	for cycle := 1; cycle <= killCycles; cycle++ {
+		before := countShardRecords(journal)
+		if err := waitForJournalGrowth(journal, before, 60*time.Second); err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		delay := time.Duration(rng.Intn(250)) * time.Millisecond
+		time.Sleep(delay)
+
+		if cycle == 2 {
+			w := workers[2]
+			w.Process.Kill() // SIGKILL, no cleanup
+			w.Wait()
+			delete(workers, 2)
+			log.Printf("cycle %d: SIGKILLed worker w2", cycle)
+			if err := startWorker(4); err != nil {
+				return err
+			}
+		}
+
+		coord.Process.Kill() // SIGKILL, no cleanup
+		coord.Wait()
+		completed := countShardRecords(journal)
+		log.Printf("cycle %d: SIGKILLed coordinator after %s with %d shards journaled", cycle, delay, completed)
+
+		if coord, err = startCoordinator(serverBin, addr, dataDir); err != nil {
+			return fmt.Errorf("cycle %d restart: %w", cycle, err)
+		}
+
+		// The restarted coordinator must already know the campaign: a
+		// resubmission coalesces onto the recovered job (or, if the last
+		// shard squeaked in pre-kill, hits the on-disk result store) —
+		// either way HTTP 200, never a fresh 201.
+		rid, rcode, err := submit(base, body)
+		if err != nil {
+			return fmt.Errorf("cycle %d resubmit: %w", cycle, err)
+		}
+		if rcode != http.StatusOK {
+			return fmt.Errorf("cycle %d resubmit: HTTP %d, want 200 (recovered or stored)", cycle, rcode)
+		}
+		id = rid
+		log.Printf("cycle %d: coordinator resurrected, campaign recovered as %s", cycle, id)
+	}
+
+	// Let the survivors finish the campaign.
+	if err := waitDone(base, id, 120*time.Second); err != nil {
+		return err
+	}
+	crashed, err := getBytes(base + "/api/v1/campaigns/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	log.Printf("campaign finished after %d kill cycles (%d bytes)", killCycles, len(crashed))
+
+	// The thrice-crashed merged outcome must be byte-identical to the
+	// undisturbed, unsharded CLI run of the same spec.
+	cli := exec.Command(cliBin, cliArgs...)
+	cli.Stderr = os.Stderr
+	undisturbed, err := cli.Output()
+	if err != nil {
+		return fmt.Errorf("faultcampaign -json: %w", err)
+	}
+	if !bytes.Equal(crashed, undisturbed) {
+		return fmt.Errorf("crash-recovered result and undisturbed faultcampaign -json diverge:\n--- crashed\n%s\n--- undisturbed\n%s", crashed, undisturbed)
+	}
+	log.Printf("crash-recovered result == undisturbed unsharded CLI")
+
+	// Final act: kill the coordinator once more and prove the finished
+	// result outlives the process — the resubmission must be answered
+	// from the on-disk store with zero engine executions.
+	coord.Process.Kill()
+	coord.Wait()
+	if coord, err = startCoordinator(serverBin, addr, dataDir); err != nil {
+		return fmt.Errorf("final restart: %w", err)
+	}
+	fid, fcode, err := submit(base, body)
+	if err != nil {
+		return err
+	}
+	if fcode != http.StatusOK {
+		return fmt.Errorf("post-crash resubmission: HTTP %d, want 200 (stored result)", fcode)
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	if err := getJSON(base+"/api/v1/campaigns/"+fid, &st); err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("post-crash resubmission is %q, want done immediately from the store", st.State)
+	}
+	var health struct {
+		Stats struct {
+			Executed  int `json:"executed"`
+			CacheHits int `json:"cache_hits"`
+		} `json:"stats"`
+	}
+	if err := getJSON(base+"/api/v1/healthz", &health); err != nil {
+		return err
+	}
+	if health.Stats.Executed != 0 || health.Stats.CacheHits < 1 {
+		return fmt.Errorf("fresh coordinator stats %+v: want 0 executions, >=1 cache hit", health.Stats)
+	}
+	stored, err := getBytes(base + "/api/v1/campaigns/" + fid + "/result")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(stored, crashed) {
+		return fmt.Errorf("stored result differs from the pre-crash result bytes")
+	}
+	log.Printf("final restart served the result from the store: 0 executions, byte-identical")
+	return nil
+}
+
+// startCoordinator boots a durable remote-only coordinator on addr and
+// waits until /readyz reports recovery is complete. The bind is retried
+// briefly: a SIGKILLed predecessor's socket can take a beat to release.
+func startCoordinator(bin, addr, dataDir string) (*exec.Cmd, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		cmd := exec.Command(bin, "-addr", addr, "-jobs", "1",
+			"-shards", "24", "-shard-local-workers=-1", "-shard-lease-ttl", "5s",
+			"-data-dir", dataDir)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		bound := false
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening on ") {
+				bound = true
+				break
+			}
+		}
+		if !bound { // bind failed (address still in TIME_WAIT teardown)
+			cmd.Wait()
+			lastErr = fmt.Errorf("coordinator on %s never bound", addr)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		go io.Copy(io.Discard, stdout)
+		if err := waitReady("http://" + addr); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+		return cmd, nil
+	}
+	return nil, lastErr
+}
+
+// reservePort grabs a free loopback port and releases it for the
+// coordinator to claim. The tiny reuse race is acceptable in a smoke
+// test; startCoordinator retries the bind regardless.
+func reservePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// countShardRecords counts durably journaled shard completions. It
+// greps the raw journal on purpose: the gate must observe what is on
+// disk, not what the (about-to-die) coordinator claims in memory.
+func countShardRecords(journal string) int {
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		return 0
+	}
+	return bytes.Count(b, []byte(`"type":"shard_completed"`))
+}
+
+func waitForJournalGrowth(journal string, before int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if countShardRecords(journal) > before {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("journal recorded no shard completion beyond %d within %s", before, timeout)
+}
+
+func waitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := getJSON(base+"/api/v1/campaigns/"+id, &st); err == nil {
+			switch st.State {
+			case "done":
+				return nil
+			case "failed", "cancelled":
+				return fmt.Errorf("campaign ended %q", st.State)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("campaign not done within %s", timeout)
+}
+
+func waitReady(base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("coordinator never became ready")
+}
+
+func submit(base string, body []byte) (id string, code int, err error) {
+	resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return "", resp.StatusCode, fmt.Errorf("submit response %q: %w", b, err)
+	}
+	return st.ID, resp.StatusCode, nil
+}
+
+func getBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func getJSON(url string, v interface{}) error {
+	b, err := getBytes(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

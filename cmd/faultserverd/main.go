@@ -9,6 +9,16 @@
 //
 //	faultserverd -addr :8080 -jobs 2 -campaign-workers 0
 //
+// With -data-dir the daemon is durable and crash-restartable: completed
+// campaign outcomes are committed to an on-disk content-addressed
+// result store and every job/shard lifecycle event to a checksummed
+// write-ahead journal under that directory. A restarted daemon —
+// SIGKILL included — replays the journal, serves finished campaigns
+// from the store without re-executing them, and resumes in-flight
+// campaigns from their last durably completed shard; the recovered
+// outcome is byte-identical to an undisturbed run. /readyz answers 503
+// until recovery finishes, then 200.
+//
 // With -shards N each campaign is split into N deterministic
 // experiment-range shards, drained by in-process shard workers and by
 // any remote workers pulling leases over the HTTP shard surface.
@@ -61,26 +71,32 @@ func main() {
 		shards  = flag.Int("shards", 1, "experiment-range shards per campaign (>1 enables the shard pool and the HTTP shard surface)")
 		local   = flag.Int("shard-local-workers", 0, "in-process shard executors per campaign (0 = campaign workers, -1 = serve shards to remote workers only)")
 		ttl     = flag.Duration("shard-lease-ttl", 2*time.Minute, "reclaim a shard whose worker has been silent this long")
+		dataDir = flag.String("data-dir", "", "directory for the durable result store and job journal (empty = in-memory only)")
 
 		workerMode  = flag.Bool("worker", false, "run as a shard worker instead of a server")
 		coordinator = flag.String("coordinator", "", "coordinator base URL (worker mode)")
 		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default host:pid)")
+		backoffMax  = flag.Duration("worker-backoff-max", 5*time.Second, "cap on the worker's jittered lease backoff (worker mode)")
 	)
 	flag.Parse()
 
 	if *workerMode {
-		runWorker(*coordinator, *workerID, *workers)
+		runWorker(*coordinator, *workerID, *workers, *backoffMax)
 		return
 	}
 
-	mgr := jobs.NewManager(jobs.ManagerOptions{
+	mgr, recovery, err := jobs.OpenManager(jobs.ManagerOptions{
 		Concurrency:       *njobs,
 		QueueDepth:        *queue,
 		CampaignWorkers:   *workers,
 		Shards:            *shards,
 		ShardLocalWorkers: *local,
 		ShardLeaseTTL:     *ttl,
+		DataDir:           *dataDir,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +105,15 @@ func main() {
 	if *shards > 1 {
 		log.Printf("sharding campaigns %d ways (local executors: %s)", *shards, localDesc(*local))
 	}
+	if *dataDir != "" {
+		log.Printf("durable data dir %s: %d stored results, %d in-flight jobs resumed (%d shards pre-folded)",
+			*dataDir, recovery.StoredResults, recovery.ResumedJobs, recovery.RecoveredShards)
+		if recovery.TornTail {
+			log.Printf("journal had a torn final record (crash mid-append); truncated and continuing")
+		}
+	}
 	api := server.New(mgr)
+	api.SetReady()
 	srv := &http.Server{
 		Handler: api.Handler(),
 		// No WriteTimeout: the NDJSON stream endpoint is legitimately
@@ -142,7 +166,7 @@ func localDesc(local int) string {
 }
 
 // runWorker joins a coordinator's campaigns until SIGTERM/SIGINT.
-func runWorker(coordinator, id string, workers int) {
+func runWorker(coordinator, id string, workers int, backoffMax time.Duration) {
 	if coordinator == "" {
 		log.Fatal("-worker requires -coordinator URL")
 	}
@@ -157,6 +181,7 @@ func runWorker(coordinator, id string, workers int) {
 		Coordinator: coordinator,
 		Name:        id,
 		Workers:     workers,
+		BackoffMax:  backoffMax,
 		Log:         log.Default(),
 	}
 	log.Printf("pulling shards from %s", coordinator)

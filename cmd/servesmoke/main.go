@@ -98,7 +98,7 @@ func run() error {
 	}
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
 	log.Printf("server at %s", base)
-	if err := waitHealthy(base); err != nil {
+	if err := waitReady(base); err != nil {
 		return err
 	}
 
@@ -191,10 +191,13 @@ func run() error {
 	return nil
 }
 
-func waitHealthy(base string) error {
+// waitReady polls the readiness probe, not liveness: /readyz answers 503
+// until the daemon has finished opening its data dir and replaying any
+// journal, so a durable server is only used once recovery is complete.
+func waitReady(base string) error {
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/api/v1/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -203,7 +206,7 @@ func waitHealthy(base string) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	return fmt.Errorf("server never became healthy")
+	return fmt.Errorf("server never became ready")
 }
 
 func submit(base string, body []byte) (id string, code int, err error) {

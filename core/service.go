@@ -37,6 +37,11 @@ type (
 	ShardRange = jobs.ShardRange
 	// ShardStats counts what a shard pool has done.
 	ShardStats = jobs.ShardStats
+	// RecoveryInfo summarizes what a persistent job service found in its
+	// data directory on open: stored results, resumed in-flight jobs,
+	// pre-folded completed shards, and whether a torn journal tail was
+	// truncated.
+	RecoveryInfo = jobs.RecoveryInfo
 )
 
 // JobService is an in-process campaign job scheduler.
@@ -44,10 +49,28 @@ type JobService struct {
 	m *jobs.Manager
 }
 
-// NewJobService starts a job service with its worker pool running. Close
-// it when done.
+// NewJobService starts an in-memory job service with its worker pool
+// running. Close it when done. For a durable service (results and job
+// state surviving restarts) set JobServiceOptions.DataDir and use
+// OpenJobService — this constructor ignores the field because it cannot
+// report the I/O errors durability can hit.
 func NewJobService(opts JobServiceOptions) *JobService {
 	return &JobService{m: jobs.NewManager(opts)}
+}
+
+// OpenJobService starts a job service backed by opts.DataDir: completed
+// campaign outcomes are committed to an on-disk content-addressed
+// result store (so resubmitted requests cache-hit across process
+// lifetimes) and job/shard lifecycle events to a write-ahead journal
+// (so in-flight campaigns resume from their last completed shard after
+// a crash). With an empty DataDir it is NewJobService with an empty
+// RecoveryInfo.
+func OpenJobService(opts JobServiceOptions) (*JobService, RecoveryInfo, error) {
+	m, info, err := jobs.OpenManager(opts)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	return &JobService{m: m}, info, nil
 }
 
 // SubmitCampaign submits a campaign asynchronously. A request matching an

@@ -71,6 +71,14 @@ type ManagerOptions struct {
 	// ShardLeaseTTL is how long a silent shard lease pins its shard
 	// before it is reclaimed for another worker. Default 2 minutes.
 	ShardLeaseTTL time.Duration
+	// DataDir, when set, makes the service durable: completed outcomes
+	// are committed to an on-disk content-addressed result store and job/
+	// shard lifecycle events to a write-ahead journal under this
+	// directory, so a restarted process serves finished campaigns from
+	// disk and resumes in-flight ones from their last completed shard.
+	// Only OpenManager honours it — NewManager stays in-memory (it
+	// cannot surface an I/O error) and ignores the field.
+	DataDir string
 	// Executor overrides the campaign executor; nil selects Execute (or
 	// the shard pool's Execute when Shards > 1). Tests substitute
 	// deterministic or blocking executors here.
@@ -129,9 +137,10 @@ type job struct {
 // submission queue, a content-addressed cache of completed outcomes, and
 // per-job progress fan-out. All methods are safe for concurrent use.
 type Manager struct {
-	opts ManagerOptions
-	exec func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
-	pool *ShardPool // non-nil when opts.Shards > 1 selected sharded execution
+	opts    ManagerOptions
+	exec    func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
+	pool    *ShardPool   // non-nil when opts.Shards > 1 selected sharded execution
+	persist *persistence // non-nil when OpenManager bound a data directory
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -149,8 +158,15 @@ type Manager struct {
 	stats   Stats
 }
 
-// NewManager starts a job service with its worker pool running.
+// NewManager starts an in-memory job service with its worker pool
+// running. For a durable service backed by a data directory, use
+// OpenManager (this constructor ignores ManagerOptions.DataDir — it has
+// no way to report the I/O errors durability can hit).
 func NewManager(opts ManagerOptions) *Manager {
+	return newManager(opts, nil)
+}
+
+func newManager(opts ManagerOptions, p *persistence) *Manager {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = 2
 	}
@@ -161,10 +177,11 @@ func NewManager(opts ManagerOptions) *Manager {
 		opts.MaxJobs = 512
 	}
 	m := &Manager{
-		opts:  opts,
-		exec:  opts.Executor,
-		jobs:  map[string]*job{},
-		byKey: map[string]*job{},
+		opts:    opts,
+		exec:    opts.Executor,
+		persist: p,
+		jobs:    map[string]*job{},
+		byKey:   map[string]*job{},
 	}
 	if m.exec == nil {
 		if opts.Shards > 1 {
@@ -172,6 +189,7 @@ func NewManager(opts ManagerOptions) *Manager {
 				Shards:       opts.Shards,
 				LocalWorkers: opts.ShardLocalWorkers,
 				LeaseTTL:     opts.ShardLeaseTTL,
+				persist:      poolPersist(p),
 			})
 			m.exec = m.pool.Execute
 		} else {
@@ -201,6 +219,9 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.baseCancel()
 	m.wg.Wait()
+	if m.persist != nil {
+		m.persist.Close()
+	}
 }
 
 // Submit accepts a campaign request. A request whose content key matches
@@ -232,10 +253,29 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 		}
 		return m.statusLocked(j), false, nil
 	}
+	// The persistent result store extends the cache across process
+	// lifetimes: a campaign completed before the last restart answers
+	// here without touching the engine.
+	if m.persist != nil {
+		if out, ok := m.persist.loadOutcome(key); ok {
+			m.stats.Submitted++
+			m.stats.CacheHits++
+			j := m.installStoredLocked(key, n, out)
+			return m.statusLocked(j), false, nil
+		}
+	}
 	// The bound counts live queued jobs; cancelled-while-queued entries
 	// are spliced out of the FIFO by Cancel and free their slot.
 	if m.queued >= m.opts.QueueDepth {
 		return Status{}, false, ErrQueueFull
+	}
+	// Durably record the submission before admitting it: a job the
+	// journal cannot remember would vanish in the next crash, which is
+	// worse than failing the submit now.
+	if m.persist != nil {
+		if err := m.persist.journalSubmit(key, n); err != nil {
+			return Status{}, false, fmt.Errorf("jobs: journaling submission: %w", err)
+		}
 	}
 	m.stats.Submitted++
 	m.seq++
@@ -255,6 +295,71 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 	m.pruneLocked()
 	m.cond.Signal()
 	return m.statusLocked(j), true, nil
+}
+
+// installStoredLocked materializes a persistent-store hit as an
+// already-done job so status, result, watch and wait all behave exactly
+// as for a job that completed in this process. No lifecycle records are
+// journaled — the outcome is already durable under its content address.
+func (m *Manager) installStoredLocked(key string, n Request, out *Outcome) *job {
+	m.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", m.seq),
+		key:      key,
+		req:      n,
+		created:  time.Now().UTC(),
+		state:    StateDone,
+		result:   out,
+		finished: make(chan struct{}),
+	}
+	close(j.finished)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.byKey[key] = j
+	m.pruneLocked()
+	return j
+}
+
+// submitRecovered requeues one journal-recovered in-flight job on boot.
+// It bypasses the queue-depth bound (the job was admitted before the
+// crash) and does not journal — the compacted journal already carries
+// its submission record — but it does stash the job's durable completed
+// shards for the coordinator that will resume it.
+func (m *Manager) submitRecovered(rj *RecoveredJob) error {
+	n, err := rj.Request.Normalize()
+	if err != nil {
+		return err
+	}
+	key, err := keyOf(n)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.byKey[key] != nil {
+		return nil // duplicate submission records collapsed to one job
+	}
+	m.persist.stashRecovered(key, rj.Completed)
+	m.stats.Submitted++
+	m.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", m.seq),
+		key:      key,
+		req:      n,
+		created:  time.Now().UTC(),
+		state:    StateQueued,
+		finished: make(chan struct{}),
+	}
+	m.pending = append(m.pending, j)
+	m.queued++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.byKey[key] = j
+	m.cond.Signal()
+	return nil
 }
 
 // pruneLocked evicts the oldest terminal jobs — and their cached
@@ -457,6 +562,13 @@ func (m *Manager) worker() {
 		})
 		cancel()
 
+		// Commit the outcome before the in-memory terminal transition
+		// journals job_done: recovery treats a done record as "the result
+		// is in the store", and the reverse order would open a crash
+		// window where the record exists but the result does not.
+		if err == nil && m.persist != nil {
+			m.persist.saveOutcome(j.key, out)
+		}
 		m.mu.Lock()
 		switch {
 		case err == nil:
@@ -478,6 +590,9 @@ func (m *Manager) worker() {
 // unless it produced a cacheable outcome, emits the terminal progress
 // snapshot, closes all watcher channels and unblocks waiters.
 func (m *Manager) finishLocked(j *job) {
+	if m.persist != nil {
+		m.persist.journalJobEnd(j.state, j.key, j.errMsg)
+	}
 	if j.state == StateDone {
 		// A cancelled-then-completed-anyway job had its key released at
 		// Cancel; restore cacheability unless a fresh job took the key.

@@ -1,0 +1,316 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Durability: when a manager is opened with a data directory, every
+// completed campaign outcome is committed to an on-disk content-addressed
+// result store and every job/shard lifecycle event is appended to a
+// checksummed write-ahead journal. A crashed coordinator reopens both on
+// boot: completed campaigns are served from the store without touching
+// the engine (dedup across process lifetimes), and in-flight jobs are
+// resubmitted with their journaled completed shards pre-folded, so a
+// recovered campaign resumes from its last durable shard instead of
+// restarting from zero. Because the shard plan and experiment expansion
+// are pure functions of the normalized request, the recovered run's
+// merged outcome is byte-identical to an uninterrupted one.
+//
+// Journal record types. Only job_submitted and shard_completed carry
+// recovery state (and are fsync'd); the rest are breadcrumbs — cheap,
+// unsynced, and ignored by replay — that make a post-mortem journal read
+// like a flight recorder.
+const (
+	recJobSubmitted   = "job_submitted"   // Data: normalized Request
+	recJobDone        = "job_done"        // outcome committed to the store
+	recJobFailed      = "job_failed"      // Data: {"error": ...}
+	recJobCancelled   = "job_cancelled"   //
+	recShardPlanned   = "shard_planned"   // Data: {"total": N, "shards": K}
+	recShardLeased    = "shard_leased"    // Data: lease id + range
+	recShardProgress  = "shard_progress"  // Data: lease id + tally
+	recShardCompleted = "shard_completed" // Data: ShardOutput
+)
+
+// journalName is the WAL file inside a manager's data directory; results
+// live in the resultsDir subdirectory beside it.
+const (
+	journalName = "journal.ndjson"
+	resultsDir  = "results"
+)
+
+// RecoveredJob is one in-flight campaign reconstructed from the journal:
+// its normalized request and every shard output that was durably
+// completed before the crash.
+type RecoveredJob struct {
+	Key       string
+	Request   Request
+	Completed []ShardOutput
+}
+
+// RecoveryInfo summarizes what OpenManager found in the data directory.
+type RecoveryInfo struct {
+	// StoredResults is the number of verified outcomes in the result
+	// store (completed campaigns that will cache-hit without executing).
+	StoredResults int
+	// ResumedJobs is the number of in-flight jobs resubmitted from the
+	// journal.
+	ResumedJobs int
+	// RecoveredShards counts the durable completed shards pre-folded
+	// into the resumed jobs.
+	RecoveredShards int
+	// TornTail reports that the journal ended in a torn or corrupt
+	// record, which recovery truncated — expected after a crash, worth a
+	// log line.
+	TornTail bool
+}
+
+// persistence binds a manager to its store and journal. All methods are
+// safe for concurrent use and degrade to logging on I/O errors: a full
+// disk must never take down the in-memory service, only its durability.
+type persistence struct {
+	store   *store.Store
+	journal *store.Journal
+
+	mu        sync.Mutex
+	recovered map[string][]ShardOutput // journaled completed shards, by campaign key
+}
+
+// openPersistence opens (or creates) the store and journal under dir and
+// replays the journal into the set of in-flight jobs.
+func openPersistence(dir string) (*persistence, []*RecoveredJob, error) {
+	st, err := store.Open(filepath.Join(dir, resultsDir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening result store: %w", err)
+	}
+	j, recs, err := store.OpenJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	p := &persistence{store: st, journal: j, recovered: map[string][]ShardOutput{}}
+	return p, replayJournal(recs), nil
+}
+
+// replayJournal folds the journal's records into the jobs that were
+// still in flight when the process died, in submission order. Terminal
+// records retire their job; duplicate submissions of a live key merge
+// (keeping the completed shards already folded); completion records for
+// untracked keys are dropped. Lease, plan and progress records are
+// breadcrumbs only.
+func replayJournal(recs []store.Record) []*RecoveredJob {
+	byKey := map[string]*RecoveredJob{}
+	var order []*RecoveredJob
+	for _, rec := range recs {
+		switch rec.Type {
+		case recJobSubmitted:
+			if byKey[rec.Key] != nil {
+				continue // duplicate submission record; keep folded state
+			}
+			var req Request
+			if err := json.Unmarshal(rec.Data, &req); err != nil {
+				continue // unreadable request: nothing to resume
+			}
+			rj := &RecoveredJob{Key: rec.Key, Request: req}
+			byKey[rec.Key] = rj
+			order = append(order, rj)
+		case recJobDone, recJobFailed, recJobCancelled:
+			if rj := byKey[rec.Key]; rj != nil {
+				delete(byKey, rec.Key)
+				for i, o := range order {
+					if o == rj {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+		case recShardCompleted:
+			rj := byKey[rec.Key]
+			if rj == nil {
+				continue
+			}
+			var out ShardOutput
+			if err := json.Unmarshal(rec.Data, &out); err != nil {
+				continue
+			}
+			if len(out.Indices) != len(out.Experiments) {
+				continue // malformed despite checksum: drop, shard re-runs
+			}
+			rj.Completed = append(rj.Completed, out)
+		}
+	}
+	return order
+}
+
+// compact rewrites the journal down to the live jobs' recovery state:
+// one submission record per in-flight job plus its completed shards.
+// Everything else — terminal pairs, breadcrumbs, torn tails — has been
+// folded and is dropped, bounding journal growth across restarts.
+func (p *persistence) compact(live []*RecoveredJob) error {
+	var recs []store.Record
+	for _, rj := range live {
+		req, err := json.Marshal(rj.Request)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, store.Record{Type: recJobSubmitted, Key: rj.Key, Data: req})
+		for _, out := range rj.Completed {
+			b, err := json.Marshal(out)
+			if err != nil {
+				return err
+			}
+			recs = append(recs, store.Record{Type: recShardCompleted, Key: rj.Key, Data: b})
+		}
+	}
+	return p.journal.Rewrite(recs)
+}
+
+// journalSubmit durably records a fresh submission before the job is
+// queued; failing it fails the submission — accepting a job the journal
+// cannot remember would silently drop it on the next crash.
+func (p *persistence) journalSubmit(key string, req Request) error {
+	return p.journal.AppendSync(recJobSubmitted, key, req)
+}
+
+// journalJobEnd retires a job in the journal. Loss of this record is
+// tolerable (the job replays as in-flight and its completed outcome
+// cache-hits the store), so errors only log.
+func (p *persistence) journalJobEnd(state State, key string, errMsg string) {
+	typ := recJobCancelled
+	switch state {
+	case StateDone:
+		typ = recJobDone
+	case StateFailed:
+		typ = recJobFailed
+	}
+	var data interface{}
+	if errMsg != "" {
+		data = struct {
+			Error string `json:"error"`
+		}{errMsg}
+	}
+	if err := p.journal.AppendSync(typ, key, data); err != nil {
+		log.Printf("jobs: journal %s: %v", typ, err)
+	}
+}
+
+// saveOutcome commits a completed campaign's canonical encoding to the
+// result store. Best-effort: on failure the outcome survives in memory
+// for this process's lifetime, just not across a restart.
+func (p *persistence) saveOutcome(key string, out *Outcome) {
+	var buf bytes.Buffer
+	if err := EncodeOutcome(&buf, out); err != nil {
+		log.Printf("jobs: encoding outcome %.12s for store: %v", key, err)
+		return
+	}
+	if err := p.store.Put(key, buf.Bytes()); err != nil {
+		log.Printf("jobs: persisting outcome %.12s: %v", key, err)
+	}
+}
+
+// loadOutcome fetches and decodes a stored campaign outcome.
+func (p *persistence) loadOutcome(key string) (*Outcome, bool) {
+	b, ok := p.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var out Outcome
+	if err := json.Unmarshal(b, &out); err != nil {
+		// Verified bytes that fail to decode mean a schema change, not
+		// corruption; treat as a miss and re-execute.
+		return nil, false
+	}
+	return &out, true
+}
+
+// ShardEvent journals one shard lifecycle event. Completed shards are
+// the currency of crash recovery and are fsync'd; leases and progress
+// are breadcrumbs and ride the next sync.
+func (p *persistence) ShardEvent(typ, key string, data interface{}) {
+	var err error
+	if typ == recShardCompleted {
+		err = p.journal.AppendSync(typ, key, data)
+	} else {
+		err = p.journal.Append(typ, key, data)
+	}
+	if err != nil {
+		log.Printf("jobs: journal %s: %v", typ, err)
+	}
+}
+
+// stashRecovered records a resumed job's journaled shard outputs for the
+// coordinator that will re-plan it.
+func (p *persistence) stashRecovered(key string, outs []ShardOutput) {
+	if len(outs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.recovered[key] = outs
+	p.mu.Unlock()
+}
+
+// TakeRecovered hands a campaign's journaled completed shards to its
+// coordinator, exactly once.
+func (p *persistence) TakeRecovered(key string) []ShardOutput {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	outs := p.recovered[key]
+	delete(p.recovered, key)
+	return outs
+}
+
+// Close flushes and closes the journal.
+func (p *persistence) Close() {
+	if err := p.journal.Close(); err != nil {
+		log.Printf("jobs: closing journal: %v", err)
+	}
+}
+
+// OpenManager starts a job service backed by the data directory in
+// opts.DataDir: the result store and write-ahead journal are opened (and
+// integrity-checked) first, completed campaigns become persistent cache
+// hits, and journaled in-flight jobs are resubmitted with their durable
+// shards pre-folded. With an empty DataDir it is NewManager with an
+// empty RecoveryInfo.
+func OpenManager(opts ManagerOptions) (*Manager, RecoveryInfo, error) {
+	if opts.DataDir == "" {
+		return NewManager(opts), RecoveryInfo{}, nil
+	}
+	p, live, err := openPersistence(opts.DataDir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{StoredResults: p.store.Len(), TornTail: p.journal.TornTail()}
+	// A job whose outcome reached the store before the crash retired the
+	// journal record is already done; drop it from the live set rather
+	// than re-executing a campaign whose result is durable.
+	kept := live[:0]
+	for _, rj := range live {
+		if _, ok := p.store.Get(rj.Key); ok {
+			continue
+		}
+		kept = append(kept, rj)
+	}
+	live = kept
+	if err := p.compact(live); err != nil {
+		p.Close()
+		return nil, RecoveryInfo{}, fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	m := newManager(opts, p)
+	for _, rj := range live {
+		if err := m.submitRecovered(rj); err != nil {
+			// A request that no longer normalizes (e.g. a workload removed
+			// between releases) cannot resume; log and drop it.
+			log.Printf("jobs: dropping unrecoverable job %.12s: %v", rj.Key, err)
+			continue
+		}
+		info.ResumedJobs++
+		info.RecoveredShards += len(rj.Completed)
+	}
+	return m, info, nil
+}

@@ -118,6 +118,28 @@ type ShardResult struct {
 // leaseCounter makes lease ids process-unique.
 var leaseCounter atomic.Int64
 
+// shardPersist is the durability seam between the shard layer and the
+// manager's write-ahead journal: coordinators report lifecycle events
+// through it and pull a resumed campaign's journaled completed shards
+// from it. A nil value means in-memory operation.
+type shardPersist interface {
+	// ShardEvent appends one journal record (completed shards are
+	// fsync'd; the rest are breadcrumbs).
+	ShardEvent(typ, key string, data interface{})
+	// TakeRecovered hands over the completed shard outputs journaled for
+	// a campaign before the last crash, exactly once.
+	TakeRecovered(key string) []ShardOutput
+}
+
+// poolPersist adapts a possibly-nil *persistence into the seam without
+// producing a non-nil interface wrapping a nil pointer.
+func poolPersist(p *persistence) shardPersist {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
 // shardLease is the coordinator-side lease record.
 type shardLease struct {
 	id       string
@@ -143,6 +165,9 @@ type Coordinator struct {
 	// onProgress, when non-nil, observes folded tallies (called without
 	// the coordinator lock held).
 	onProgress func(t campaign.Tally, total int)
+	// persist, when non-nil, journals shard lifecycle events so a
+	// restarted coordinator resumes from the completed shards.
+	persist shardPersist
 
 	mu       sync.Mutex
 	pending  []ShardRange
@@ -161,8 +186,13 @@ type Coordinator struct {
 
 // newCoordinator plans a campaign into shards. The runner is resolved
 // through the process-wide memoized cache, so a coordinator that also
-// runs local workers pays for the golden run exactly once.
-func newCoordinator(ctx context.Context, req Request, shards int, onProgress func(campaign.Tally, int)) (*Coordinator, error) {
+// runs local workers pays for the golden run exactly once. With persist
+// set, any completed shards journaled before a crash are folded in
+// before leasing begins — the resumed campaign only executes the ranges
+// that never durably finished, and because the expansion is a pure
+// function of the request the merged outcome is byte-identical to an
+// undisturbed run.
+func newCoordinator(ctx context.Context, req Request, shards int, onProgress func(campaign.Tally, int), persist shardPersist) (*Coordinator, error) {
 	n, err := req.Normalize()
 	if err != nil {
 		return nil, err
@@ -183,6 +213,7 @@ func newCoordinator(ctx context.Context, req Request, shards int, onProgress fun
 		goldenCycles: r.GoldenCycles,
 		checkpointed: r.Checkpointed(),
 		onProgress:   onProgress,
+		persist:      persist,
 		pending:      PlanShards(total, shards),
 		attempts:     map[int]int{},
 		reclaims:     map[int]int{},
@@ -191,10 +222,66 @@ func newCoordinator(ctx context.Context, req Request, shards int, onProgress fun
 		have:         make([]bool, total),
 		finished:     make(chan struct{}),
 	}
+	if persist != nil {
+		persist.ShardEvent(recShardPlanned, key, struct {
+			Total  int `json:"total"`
+			Shards int `json:"shards"`
+		}{total, len(c.pending)})
+		c.preloadRecovered(persist.TakeRecovered(key))
+	}
 	if total == 0 {
 		c.finishLocked() // degenerate empty campaign
 	}
 	return c, nil
+}
+
+// preloadRecovered folds journaled completed shard outputs into the
+// fresh plan and drops the pending ranges they fully cover. It runs
+// before the coordinator is visible to any worker, so no locking.
+// Defensive by construction: outputs whose golden-run metadata diverges
+// from the freshly simulated run, whose indices fall outside the
+// campaign, or that duplicate already-folded indices (a shard requeued
+// and completed twice before the crash) are skipped — the worst a bad
+// journal can do is re-execute work. The shard count need not match the
+// previous process's: coverage is tracked per experiment index, so a
+// plan resumed under a different -shards flag still only re-runs the
+// uncovered remainder of each range.
+func (c *Coordinator) preloadRecovered(outs []ShardOutput) {
+	for _, out := range outs {
+		if out.GoldenCycles != c.goldenCycles || out.Checkpointed != c.checkpointed {
+			continue // journaled under a different engine; re-execute
+		}
+		if len(out.Indices) != len(out.Experiments) {
+			continue
+		}
+		for i, idx := range out.Indices {
+			if idx < 0 || idx >= c.total || c.have[idx] {
+				continue
+			}
+			c.have[idx] = true
+			c.slots[idx] = out.Experiments[i]
+			c.folded.Done++
+			if out.Experiments[i].Outcome != noEffect {
+				c.folded.Failures++
+			}
+		}
+	}
+	kept := c.pending[:0]
+	for _, rng := range c.pending {
+		covered := true
+		for idx := rng.Start; idx < rng.End; idx++ {
+			if !c.have[idx] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, rng)
+		}
+	}
+	c.pending = kept
+	c.maybeStopLocked()
+	c.maybeFinishLocked()
 }
 
 // Lease hands the next pending shard to a worker, or reports no work.
@@ -215,6 +302,18 @@ func (c *Coordinator) Lease(worker string) (*ShardLease, bool) {
 		lastSeen: time.Now(),
 	}
 	c.leases[l.id] = l
+	if c.persist != nil {
+		// Breadcrumb only: a lease with no completion record is exactly
+		// what recovery treats as never-happened, so the shard is pending
+		// again after a restart (crash-only reclaim).
+		c.persist.ShardEvent(recShardLeased, c.key, struct {
+			Lease  string `json:"lease"`
+			Worker string `json:"worker"`
+			Index  int    `json:"index"`
+			Start  int    `json:"start"`
+			End    int    `json:"end"`
+		}{l.id, worker, rng.Index, rng.Start, rng.End})
+	}
 	return &ShardLease{Lease: l.id, Key: c.key, Request: c.req, Range: rng, Total: c.total}, true
 }
 
@@ -251,6 +350,13 @@ func (c *Coordinator) Progress(leaseID string, done, failures int) (cancel bool)
 	stop := c.stopped || c.done
 	t := c.tallyLocked()
 	c.mu.Unlock()
+	if c.persist != nil {
+		c.persist.ShardEvent(recShardProgress, c.key, struct {
+			Lease    string `json:"lease"`
+			Done     int    `json:"done"`
+			Failures int    `json:"failures"`
+		}{leaseID, done, failures})
+	}
 	c.notify(t)
 	return stop
 }
@@ -312,6 +418,13 @@ func (c *Coordinator) Complete(res ShardResult) error {
 	c.maybeFinishLocked()
 	t := c.tallyLocked()
 	c.mu.Unlock()
+	if complete && c.persist != nil {
+		// The durable record of this shard's work — fsync'd, because its
+		// loss would re-execute the whole range after a crash. Journaled
+		// after the fold (outside the lock): a crash in between merely
+		// re-runs the shard, and determinism folds identical bytes.
+		c.persist.ShardEvent(recShardCompleted, c.key, out)
+	}
 	c.notify(t)
 	return nil
 }
@@ -414,6 +527,9 @@ func (c *Coordinator) maybeFinishLocked() {
 
 // finishLocked assembles the canonical outcome from the folded slots.
 func (c *Coordinator) finishLocked() {
+	if c.done {
+		return
+	}
 	exps := make([]ExperimentOutcome, 0, c.folded.Done)
 	for i, ok := range c.have {
 		if ok {
@@ -494,6 +610,10 @@ type ShardPoolOptions struct {
 	// LeaseTTL bounds how long a silent lease pins its shard before the
 	// shard is requeued for another worker. Default 2 minutes.
 	LeaseTTL time.Duration
+	// persist, when non-nil, journals every coordinator's shard
+	// lifecycle and preloads recovered completed shards. Only the
+	// manager sets it (through OpenManager's data directory).
+	persist shardPersist
 }
 
 // ShardPool coordinates sharded campaign execution: each Execute call
@@ -533,7 +653,7 @@ func (p *ShardPool) Execute(ctx context.Context, req Request, workers int, tap T
 			tap(t.Done, total, t.Failures)
 		}
 	}
-	c, err := newCoordinator(ctx, req, p.opts.Shards, onProgress)
+	c, err := newCoordinator(ctx, req, p.opts.Shards, onProgress, p.opts.persist)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,15 @@
 //	GET    /workloads            bundled workload names
 //	GET    /healthz              liveness plus scheduler counters
 //
+// Two probe endpoints live at the root (outside /api/v1), shaped for
+// process supervisors and load balancers:
+//
+//	GET /healthz   liveness — 200 as soon as the process serves HTTP
+//	               (same payload as /api/v1/healthz)
+//	GET /readyz    readiness — 503 until the daemon calls SetReady
+//	               (journal replayed, result store opened, recovered
+//	               jobs resubmitted), 200 afterwards
+//
 // When the manager runs a shard pool, four more endpoints serve the
 // shard protocol to remote `faultserverd -worker` processes:
 //
@@ -41,6 +50,7 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/jobs"
 	"repro/internal/workloads"
@@ -50,6 +60,10 @@ import (
 type Server struct {
 	mgr *jobs.Manager
 	mux *http.ServeMux
+
+	// ready gates /readyz: false (503) until the daemon finishes boot
+	// work — durability recovery above all — and calls SetReady.
+	ready atomic.Bool
 
 	// Stream lifecycle: Drain waits for in-flight NDJSON progress streams
 	// to flush their terminal snapshots before the daemon closes its
@@ -70,6 +84,8 @@ func New(mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.cancel)
 	s.mux.HandleFunc("GET /api/v1/workloads", s.workloads)
 	s.mux.HandleFunc("GET /api/v1/healthz", s.healthz)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("POST /api/v1/shards/lease", s.shardLease)
 	s.mux.HandleFunc("POST /api/v1/shards/{lease}/progress", s.shardProgress)
 	s.mux.HandleFunc("POST /api/v1/shards/{lease}/complete", s.shardComplete)
@@ -79,6 +95,11 @@ func New(mgr *jobs.Manager) *Server {
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips /readyz to 200. Call it once boot work that readiness
+// promises — journal replay, result-store open, recovered-job
+// resubmission — has completed.
+func (s *Server) SetReady() { s.ready.Store(true) }
 
 // Drain marks the server as shutting down — new stream subscriptions are
 // refused with 503 — and waits for every in-flight NDJSON progress
@@ -269,6 +290,22 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyz answers readiness probes: 503 while the daemon is still booting
+// (durability recovery in flight), 200 once SetReady ran. Liveness is
+// /healthz; the two differ exactly during recovery, which is the window
+// supervisors must not route traffic into.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
 }
 
 // pool resolves the manager's shard pool, answering 404 when sharded

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
@@ -38,10 +40,35 @@ type Worker struct {
 	// Poll is the idle re-poll interval when the coordinator has no
 	// pending shards. Default 250ms.
 	Poll time.Duration
+	// BackoffMax caps the exponential backoff between failed coordinator
+	// polls. Default 5s. Backoff sleeps are jittered (uniform over
+	// [d/2, d)) so a fleet of workers orphaned by a coordinator crash
+	// does not re-lease in lockstep the moment it restarts.
+	BackoffMax time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
 	// Log, when non-nil, receives worker lifecycle messages.
 	Log *log.Logger
+
+	stats WorkerStats
+}
+
+// WorkerStats counts a worker's report-channel outcomes. Retries are
+// re-sent completion/failure reports after a transient coordinator
+// error; Dropped are shards whose completed work was abandoned after
+// every retry failed (the lease TTL requeues them — the experiments are
+// re-executed, never lost).
+type WorkerStats struct {
+	ReportRetries int64 `json:"report_retries"`
+	Dropped       int64 `json:"dropped"`
+}
+
+// Stats returns the worker's counters. Safe for concurrent use.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		ReportRetries: atomic.LoadInt64(&w.stats.ReportRetries),
+		Dropped:       atomic.LoadInt64(&w.stats.Dropped),
+	}
 }
 
 func (w *Worker) logf(format string, args ...interface{}) {
@@ -64,9 +91,18 @@ func (w *Worker) poll() time.Duration {
 	return 250 * time.Millisecond
 }
 
+func (w *Worker) backoffMax() time.Duration {
+	if w.BackoffMax > 0 {
+		return w.BackoffMax
+	}
+	return 5 * time.Second
+}
+
 // Run pulls and executes shards until ctx is cancelled. Transient
-// coordinator errors (connection refused, 5xx) back off and retry —
-// workers are expected to outlive coordinator restarts.
+// coordinator errors (connection refused, 5xx) back off — exponentially,
+// jittered, capped at BackoffMax — and retry: workers are expected to
+// outlive coordinator restarts, and the jitter spreads a whole fleet's
+// re-lease stampede after one.
 func (w *Worker) Run(ctx context.Context) error {
 	backoff := w.poll()
 	for {
@@ -75,12 +111,15 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		lease, err := w.lease()
 		if err != nil {
-			w.logf("lease: %v (retrying in %v)", err, backoff)
-			if !sleep(ctx, backoff) {
+			w.logf("lease: %v (retrying in ~%v)", err, backoff)
+			if !sleepJitter(ctx, backoff) {
 				return ctx.Err()
 			}
-			if backoff < 5*time.Second {
+			if backoff < w.backoffMax() {
 				backoff *= 2
+				if backoff > w.backoffMax() {
+					backoff = w.backoffMax()
+				}
 			}
 			continue
 		}
@@ -103,6 +142,17 @@ func sleep(ctx context.Context, d time.Duration) bool {
 	case <-ctx.Done():
 		return false
 	}
+}
+
+// sleepJitter waits a uniform duration in [d/2, d). Thundering-herd
+// breaker: after a coordinator restart every orphaned worker is in the
+// same backoff state, and identical sleeps would land their re-lease
+// polls in the same instant.
+func sleepJitter(ctx context.Context, d time.Duration) bool {
+	if d <= 1 {
+		return sleep(ctx, d)
+	}
+	return sleep(ctx, d/2+time.Duration(rand.Int63n(int64(d/2))))
 }
 
 // runShard executes one leased shard and reports it back.
@@ -161,13 +211,13 @@ func (w *Worker) runShard(ctx context.Context, lease *jobs.ShardLease) {
 		// The engine never produced anything (runner build failure or the
 		// worker's own shutdown): release the lease for someone else.
 		w.logf("shard %d failed: %v", lease.Range.Index, err)
-		w.fail(lease.Lease, fmt.Sprintf("%v", err))
+		w.fail(ctx, lease.Lease, fmt.Sprintf("%v", err))
 		return
 	}
 	// Completed, cancelled by the coordinator's stop rule, or the worker
 	// is shutting down mid-shard: submit what ran. The coordinator folds
 	// a partial once the campaign has stopped and requeues it otherwise.
-	w.complete(lease.Lease, out)
+	w.complete(ctx, lease.Lease, out)
 }
 
 // lease asks for the next shard; nil without error means no work.
@@ -220,35 +270,83 @@ func (w *Worker) progress(lease string, done, failures int) (cancel bool) {
 	return rep.Cancel
 }
 
-// complete submits a shard's outcomes.
-func (w *Worker) complete(lease string, out *jobs.ShardOutput) {
+// reportAttempts bounds terminal-report retries: enough to ride out a
+// coordinator restart (with backoff the window is several seconds),
+// bounded so a worker never wedges on a permanently dead coordinator —
+// past it the lease TTL requeues the shard and the work is merely
+// re-executed, never lost.
+const reportAttempts = 5
+
+// complete submits a shard's outcomes, retrying transient coordinator
+// errors with jittered backoff. Silently dropping this POST — the old
+// behaviour — discarded the entire shard's completed experiments on one
+// flaky round trip; now only exhausting every retry does, and that is
+// counted (WorkerStats.Dropped) and logged.
+func (w *Worker) complete(ctx context.Context, lease string, out *jobs.ShardOutput) {
 	body, err := json.Marshal(out)
 	if err != nil {
 		w.logf("complete: %v", err)
 		return
 	}
-	resp, err := w.post(w.Coordinator+"/api/v1/shards/"+lease+"/complete", body)
-	if err != nil {
-		w.logf("complete: %v (shard will be requeued by the lease TTL)", err)
-		return
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		w.logf("complete: HTTP %d", resp.StatusCode)
-	}
+	w.report(ctx, "complete", w.Coordinator+"/api/v1/shards/"+lease+"/complete", body,
+		fmt.Sprintf("shard result (%d experiments)", len(out.Experiments)))
 }
 
-// fail releases a lease after a worker-side error.
-func (w *Worker) fail(lease, msg string) {
+// fail releases a lease after a worker-side error, with the same retry
+// discipline as complete: an undelivered failure report leaves the
+// shard pinned until the lease TTL instead of re-leasing it promptly.
+func (w *Worker) fail(ctx context.Context, lease, msg string) {
 	body, _ := json.Marshal(struct {
 		Error string `json:"error"`
 	}{Error: msg})
-	resp, err := w.post(w.Coordinator+"/api/v1/shards/"+lease+"/fail", body)
-	if err != nil {
-		w.logf("fail: %v", err)
-		return
+	w.report(ctx, "fail", w.Coordinator+"/api/v1/shards/"+lease+"/fail", body, "failure report")
+}
+
+// report delivers one terminal shard report. Transient errors (network,
+// 5xx) retry with jittered exponential backoff; 410 Gone (lease
+// expired, work redone elsewhere) and other 4xx answers are permanent.
+// A worker already shutting down gets one quick retry instead of the
+// full schedule so the final partial still has a chance to land without
+// stalling process exit.
+func (w *Worker) report(ctx context.Context, kind, url string, body []byte, what string) {
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := w.post(url, body)
+		if err == nil {
+			code := resp.StatusCode
+			drain(resp)
+			switch {
+			case code == http.StatusOK:
+				if attempt > 1 {
+					w.logf("%s: delivered on attempt %d", kind, attempt)
+				}
+				return
+			case code == http.StatusGone:
+				w.logf("%s: lease expired (work redone elsewhere); discarding", kind)
+				return
+			case code >= 400 && code < 500:
+				w.logf("%s: HTTP %d (permanent); discarding %s", kind, code, what)
+				return
+			}
+			err = fmt.Errorf("HTTP %d", code)
+		}
+		if attempt >= reportAttempts || (ctx.Err() != nil && attempt >= 2) {
+			atomic.AddInt64(&w.stats.Dropped, 1)
+			w.logf("%s: %v after %d attempts; dropping %s (the lease TTL will requeue the shard)",
+				kind, err, attempt, what)
+			return
+		}
+		atomic.AddInt64(&w.stats.ReportRetries, 1)
+		w.logf("%s: %v (attempt %d/%d, retrying in ~%v)", kind, err, attempt, reportAttempts, backoff)
+		if ctx.Err() != nil {
+			time.Sleep(200 * time.Millisecond) // shutting down: one quick retry
+		} else {
+			sleepJitter(ctx, backoff)
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
 	}
-	drain(resp)
 }
 
 func (w *Worker) post(url string, body []byte) (*http.Response, error) {

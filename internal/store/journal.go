@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The journal is an append-only NDJSON write-ahead log of job and shard
+// lifecycle events. Each line is framed as
+//
+//	<crc32-ieee, 8 hex digits> <record JSON>\n
+//
+// so every record is independently verifiable. Replay reads the longest
+// valid prefix: the first record whose frame, checksum or JSON fails to
+// parse ends the replay, and the file is truncated back to the last
+// valid byte — the crash-only contract that a torn tail (the write the
+// process died inside) is silently discarded rather than poisoning
+// recovery. Records after a corrupt one are dropped with it: a WAL's
+// suffix may depend on its prefix, so resuming past a hole could
+// resurrect state the lost record had superseded.
+
+// Record is one journal entry. Type tags the event, Key is the campaign
+// content address it concerns, and Data carries the event's typed
+// payload as raw JSON — the journal itself never interprets it.
+type Record struct {
+	Seq  int64           `json:"seq"`
+	Type string          `json:"type"`
+	Key  string          `json:"key,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an append-only checksummed record log. Safe for concurrent
+// use.
+type Journal struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seq  int64
+	torn bool // a torn/corrupt tail was truncated at open
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// every valid record, truncates any torn or corrupt tail, and positions
+// the journal for appending. The returned records are the durable
+// history the caller should fold into its recovered state.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, valid, torn, err := replayAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if torn {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{path: path, f: f, w: bufio.NewWriter(f), torn: torn}
+	for _, r := range recs {
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	return j, recs, nil
+}
+
+// replayAll scans the journal, returning the valid records, the byte
+// offset after the last valid record, and whether an invalid tail
+// follows it.
+func replayAll(r io.Reader) (recs []Record, valid int64, torn bool, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF && len(line) == 0 {
+			return recs, valid, torn, nil
+		}
+		if rerr != nil && rerr != io.EOF {
+			return nil, 0, false, rerr
+		}
+		rec, ok := parseLine(line)
+		if !ok || rerr == io.EOF {
+			// A record missing its newline is by definition the torn tail
+			// even if its checksum happens to verify: the append was cut
+			// mid-write. Anything after the first bad record is dropped
+			// with it.
+			return recs, valid, true, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(len(line))
+	}
+}
+
+// parseLine verifies one framed journal line.
+func parseLine(line []byte) (Record, bool) {
+	// Frame: 8 hex digits, one space, JSON, newline.
+	if len(line) < 11 || line[8] != ' ' || line[len(line)-1] != '\n' {
+		return Record{}, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Record{}, false
+	}
+	payload := line[9 : len(line)-1]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// TornTail reports whether OpenJournal found and truncated a torn or
+// corrupt tail — worth a log line, not an error.
+func (j *Journal) TornTail() bool { return j.torn }
+
+// Append writes one record (assigning its sequence number) without
+// forcing it to disk: an un-synced record lost in a crash replays as a
+// torn tail, which recovery tolerates by re-deriving the lost event.
+// Use AppendSync for records whose loss would redo significant work.
+func (j *Journal) Append(typ, key string, data interface{}) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(typ, key, data)
+}
+
+// AppendSync writes one record and fsyncs the journal, making the event
+// durable before the caller proceeds.
+func (j *Journal) AppendSync(typ, key string, data interface{}) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(typ, key, data); err != nil {
+		return err
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) appendLocked(typ, key string, data interface{}) error {
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	j.seq++
+	payload, err := json.Marshal(Record{Seq: j.seq, Type: typ, Key: key, Data: raw})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(j.w, "%08x %s\n", crc32.ChecksumIEEE(payload), payload); err != nil {
+		return err
+	}
+	// The bufio layer exists to batch the frame writes of one record;
+	// records must not linger in user-space buffers where even a clean
+	// process exit could lose them.
+	return j.w.Flush()
+}
+
+// Sync forces every appended record to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Rewrite atomically replaces the journal's contents with recs —
+// compaction after recovery has folded the history. The replacement is
+// written to a temp file, fsync'd and renamed over the journal, so a
+// crash mid-compaction leaves the old journal intact. Sequence numbers
+// are reassigned from 1.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"journal-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	var seq int64
+	for _, r := range recs {
+		seq++
+		r.Seq = seq
+		payload, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%08x %s\n", crc32.ChecksumIEEE(payload), payload); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// Reopen the live handle onto the new file; the old inode is gone.
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.seq = seq
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if serr := j.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,227 @@
+// Package store is the durability layer of the campaign job service: an
+// on-disk content-addressed result store for completed campaign outcomes
+// and an append-only, checksummed write-ahead journal for job and shard
+// lifecycle events. Together they make cmd/faultserverd crash-only — a
+// SIGKILL'd coordinator reopens its data directory, discards anything
+// half-written (torn journal tails, unrenamed result temps, corrupt
+// entries), and resumes every in-flight campaign from its last journaled
+// shard. Because a campaign's shard plan and experiment expansion are
+// pure functions of the normalized request (the PR-4 determinism rule),
+// a recovered run is byte-identical to an uninterrupted one.
+//
+// The store and journal are deliberately generic: keys are SHA-256 hex
+// content addresses, payloads are opaque bytes, and journal records carry
+// a type tag plus a raw JSON payload. The semantics — what the records
+// mean, how replay folds them — live in internal/jobs, which is also what
+// keeps this package free of import cycles.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// resultHeader tags every result file with its format version; the rest
+// of the header line is the SHA-256 of the payload that follows it.
+const resultHeader = "repro-outcome-v1"
+
+// Store is an on-disk content-addressed result store: one file per key
+// under its directory, each self-checksummed, written via fsync'd
+// temp-file + atomic rename so a crash can never leave a half-written
+// entry visible. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	keys map[string]struct{}
+}
+
+// validKey reports whether key is a well-formed SHA-256 hex content
+// address — the only names the store will touch on disk, so a corrupt
+// journal can never walk the filesystem.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Open creates (or reopens) a result store rooted at dir. Every existing
+// entry is integrity-checked: files whose checksum or framing do not
+// verify — and temp files left behind by a crash mid-write — are deleted,
+// so a reopened store only ever serves results that were fully committed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, keys: map[string]struct{}{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name)) // crashed mid-write
+			continue
+		}
+		if !validKey(name) {
+			continue // not ours; leave it alone
+		}
+		if _, err := s.readVerified(name); err != nil {
+			os.Remove(filepath.Join(dir, name)) // half-written or bit-rotted
+			continue
+		}
+		s.keys[name] = struct{}{}
+	}
+	return s, nil
+}
+
+const tmpPrefix = ".tmp-"
+
+// readVerified loads one entry and checks its framing and checksum.
+func (s *Store) readVerified(key string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, key))
+	if err != nil {
+		return nil, err
+	}
+	nl := -1
+	for i, c := range b {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("store: %s: missing header line", key)
+	}
+	var sum string
+	if _, err := fmt.Sscanf(string(b[:nl]), resultHeader+" %64s", &sum); err != nil {
+		return nil, fmt.Errorf("store: %s: bad header: %w", key, err)
+	}
+	payload := b[nl+1:]
+	got := sha256.Sum256(payload)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("store: %s: payload checksum mismatch", key)
+	}
+	return payload, nil
+}
+
+// Put durably commits payload under key: the entry is written to a temp
+// file, fsync'd, then renamed into place (and the directory fsync'd), so
+// readers — including a post-crash Open — see either the whole entry or
+// nothing. Re-putting an existing key is a no-op: content-addressed
+// payloads for the same key are byte-identical by construction.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid content key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.keys[key]; ok {
+		return nil
+	}
+	sum := sha256.Sum256(payload)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+key+"-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := fmt.Fprintf(tmp, "%s %s\n", resultHeader, hex.EncodeToString(sum[:])); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key)); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.keys[key] = struct{}{}
+	return nil
+}
+
+// Get returns the payload committed under key. A present-but-corrupt
+// entry (bit rot since Open) is deleted and reported as a miss: the
+// content-addressed contract is that whatever Get returns verified.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.keys[key]; !ok {
+		return nil, false
+	}
+	payload, err := s.readVerified(key)
+	if err != nil {
+		delete(s.keys, key)
+		os.Remove(filepath.Join(s.dir, key))
+		return nil, false
+	}
+	return payload, true
+}
+
+// Len returns the number of committed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}
+
+// Keys returns the committed content addresses in unspecified order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Some platforms (and some filesystems) refuse to fsync directories;
+// that only weakens the power-loss window, not crash consistency, so the
+// error is ignored there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// EINVAL from directory fsync on exotic filesystems is not a
+		// durability bug in our code; EIO and friends are real.
+		if pe, ok := err.(*os.PathError); ok && pe.Err.Error() == "invalid argument" {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
