@@ -79,9 +79,11 @@ bench-check:
 	done
 
 # Hermetic service smoke: builds faultserverd and faultcampaign, boots
-# the daemon on an ephemeral port, submits one small campaign over HTTP
-# twice, and asserts one engine execution plus byte-identical results
-# between the server and `faultcampaign -json`.
+# the daemon (sharded + durable) on an ephemeral port, submits one small
+# campaign over HTTP twice, and asserts one engine execution plus
+# byte-identical results between the server and `faultcampaign -json` —
+# then scrapes /metrics and asserts the Prometheus exposition covers
+# every instrumented layer with sane values.
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 

@@ -33,7 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -67,17 +67,23 @@ var cliArgs = []string{
 
 const killCycles = 3
 
+// logger writes the smoke's own structured lines. The subprocesses it
+// boots log structured too (they inherit stderr), so a failing run's
+// transcript — above all the kill-schedule seed needed to replay it —
+// survives machine parsing instead of interleaving raw printf noise.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("prog", "crashsmoke")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("crashsmoke: ")
 	seed := flag.Int64("seed", 0, "kill-schedule seed (0 = derive from the clock)")
 	flag.Parse()
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
-	log.Printf("kill-schedule seed %d (replay with -seed %d)", *seed, *seed)
+	logger.Info("kill-schedule seed chosen", "seed", *seed,
+		"replay", fmt.Sprintf("-seed %d", *seed))
 	if err := run(rand.New(rand.NewSource(*seed))); err != nil {
-		log.Fatal(err)
+		logger.Error("smoke failed", "error", err)
+		os.Exit(1)
 	}
 	fmt.Println("crashsmoke: OK")
 }
@@ -150,7 +156,7 @@ func run(rng *rand.Rand) error {
 			return err
 		}
 	}
-	log.Printf("3 workers pulling shards from %s", base)
+	logger.Info("workers pulling shards", "workers", 3, "coordinator", base)
 
 	body, _ := json.Marshal(spec)
 	id, code, err := submit(base, body)
@@ -160,7 +166,7 @@ func run(rng *rand.Rand) error {
 	if code != http.StatusCreated {
 		return fmt.Errorf("first submission: HTTP %d, want 201", code)
 	}
-	log.Printf("campaign %s submitted (240 experiments, 24 shards)", id)
+	logger.Info("campaign submitted", "job", id, "experiments", 240, "shards", 24)
 
 	// Kill/restart cycles, each gated on durable progress: wait until the
 	// journal has recorded at least one more completed shard than when
@@ -179,7 +185,7 @@ func run(rng *rand.Rand) error {
 			w.Process.Kill() // SIGKILL, no cleanup
 			w.Wait()
 			delete(workers, 2)
-			log.Printf("cycle %d: SIGKILLed worker w2", cycle)
+			logger.Info("SIGKILLed worker", "cycle", cycle, "worker", "w2")
 			if err := startWorker(4); err != nil {
 				return err
 			}
@@ -188,7 +194,7 @@ func run(rng *rand.Rand) error {
 		coord.Process.Kill() // SIGKILL, no cleanup
 		coord.Wait()
 		completed := countShardRecords(journal)
-		log.Printf("cycle %d: SIGKILLed coordinator after %s with %d shards journaled", cycle, delay, completed)
+		logger.Info("SIGKILLed coordinator", "cycle", cycle, "linger", delay, "shards_journaled", completed)
 
 		if coord, err = startCoordinator(serverBin, addr, dataDir); err != nil {
 			return fmt.Errorf("cycle %d restart: %w", cycle, err)
@@ -206,7 +212,7 @@ func run(rng *rand.Rand) error {
 			return fmt.Errorf("cycle %d resubmit: HTTP %d, want 200 (recovered or stored)", cycle, rcode)
 		}
 		id = rid
-		log.Printf("cycle %d: coordinator resurrected, campaign recovered as %s", cycle, id)
+		logger.Info("coordinator resurrected, campaign recovered", "cycle", cycle, "job", id)
 	}
 
 	// Let the survivors finish the campaign.
@@ -217,7 +223,7 @@ func run(rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("campaign finished after %d kill cycles (%d bytes)", killCycles, len(crashed))
+	logger.Info("campaign finished", "kill_cycles", killCycles, "result_bytes", len(crashed))
 
 	// The thrice-crashed merged outcome must be byte-identical to the
 	// undisturbed, unsharded CLI run of the same spec.
@@ -230,7 +236,7 @@ func run(rng *rand.Rand) error {
 	if !bytes.Equal(crashed, undisturbed) {
 		return fmt.Errorf("crash-recovered result and undisturbed faultcampaign -json diverge:\n--- crashed\n%s\n--- undisturbed\n%s", crashed, undisturbed)
 	}
-	log.Printf("crash-recovered result == undisturbed unsharded CLI")
+	logger.Info("crash-recovered result matches undisturbed unsharded CLI")
 
 	// Final act: kill the coordinator once more and prove the finished
 	// result outlives the process — the resubmission must be answered
@@ -275,7 +281,7 @@ func run(rng *rand.Rand) error {
 	if !bytes.Equal(stored, crashed) {
 		return fmt.Errorf("stored result differs from the pre-crash result bytes")
 	}
-	log.Printf("final restart served the result from the store: 0 executions, byte-identical")
+	logger.Info("final restart served the result from the store", "executions", 0, "byte_identical", true)
 	return nil
 }
 

@@ -1,10 +1,17 @@
 // Command servesmoke is the hermetic end-to-end smoke test behind `make
 // serve-smoke`: it builds faultserverd and faultcampaign, boots the
-// daemon on an ephemeral port, submits one small campaign over HTTP
-// twice, streams its NDJSON progress, and asserts the service contract —
-// the duplicate submission coalesces or cache-hits (one engine
-// execution), both result payloads are byte-identical, and they match
-// `faultcampaign -json` byte for byte for the same spec.
+// daemon (sharded and durable, so every subsystem is live) on an
+// ephemeral port, submits one small campaign over HTTP twice, streams
+// its NDJSON progress, and asserts the service contract — the duplicate
+// submission coalesces or cache-hits (one engine execution), both
+// result payloads are byte-identical, and they match `faultcampaign
+// -json` byte for byte for the same spec.
+//
+// It also scrapes GET /metrics twice — once mid-campaign, once after —
+// and asserts the observability contract: the exposition parses, core
+// series from every layer (engine, jobs, shards, store, HTTP) exist,
+// the experiment counter is monotone, and the queue depth returns to
+// zero once the campaign finishes.
 //
 // It needs only the go toolchain and a TCP loopback; no curl or jq.
 package main
@@ -72,7 +79,10 @@ func run() error {
 	}
 
 	// Boot the daemon on an ephemeral port and scrape the bound address.
-	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-jobs", "1")
+	// Sharded + durable so the shard-pool and store metric families are
+	// exercised too; neither changes result bytes.
+	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-jobs", "1",
+		"-shards", "2", "-data-dir", filepath.Join(dir, "data"))
 	srv.Stderr = os.Stderr
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
@@ -120,6 +130,13 @@ func run() error {
 	}
 	if id2 != id1 {
 		return fmt.Errorf("second submission got job %s, want %s", id2, id1)
+	}
+
+	// First metrics scrape, while the campaign is (at most) in flight:
+	// the exposition must already parse and carry the HTTP series.
+	midMetrics, err := scrapeMetrics(base)
+	if err != nil {
+		return fmt.Errorf("mid-campaign metrics: %w", err)
 	}
 
 	// Stream progress until the job is terminal.
@@ -188,6 +205,130 @@ func run() error {
 		return fmt.Errorf("server result and faultcampaign -json diverge:\n--- server\n%s\n--- cli\n%s", res1, cliOut)
 	}
 	log.Printf("server result == faultcampaign -json (%d bytes)", len(res1))
+
+	// Final metrics scrape: every layer must have reported, the
+	// experiment counter must be monotone across the two scrapes, and the
+	// queue must have drained.
+	final, err := scrapeMetrics(base)
+	if err != nil {
+		return fmt.Errorf("final metrics: %w", err)
+	}
+	if err := checkMetrics(midMetrics, final); err != nil {
+		return err
+	}
+	log.Printf("metrics OK: %d series, %v experiments executed",
+		len(final), final.value("engine_experiments_total"))
+	return nil
+}
+
+// metrics is a flat view of one /metrics scrape: full series name
+// (labels included) -> value.
+type metrics map[string]float64
+
+// value returns the exact (label-free) series value, NaN-safe zero when
+// absent — callers assert presence separately via has/hasPrefix.
+func (m metrics) value(name string) float64 { return m[name] }
+
+func (m metrics) has(name string) bool { _, ok := m[name]; return ok }
+
+// hasPrefix reports whether any series of the family exists (labelled
+// families render as name{...}).
+func (m metrics) hasPrefix(name string) bool {
+	for k := range m {
+		if strings.HasPrefix(k, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// scrapeMetrics fetches and parses GET /metrics. The parser accepts
+// exactly the text exposition subset the daemon emits: comment lines
+// and `series value` pairs.
+func scrapeMetrics(base string) (metrics, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("GET /metrics: content type %q", ct)
+	}
+	m := metrics{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("unparseable metrics line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %w", line, err)
+		}
+		m[line[:i]] = v
+	}
+	return m, sc.Err()
+}
+
+// checkMetrics asserts the observability contract over the two scrapes.
+func checkMetrics(mid, final metrics) error {
+	// One series per instrumented layer must exist after the campaign.
+	for _, name := range []string{
+		"engine_experiments_total",
+		"engine_golden_pass_cycles_total",
+		"jobs_submitted_total",
+		"jobs_executed_total",
+		"jobs_queue_depth",
+		"shards_campaigns_total",
+		"shards_completed_total",
+		"shards_inflight",
+		"store_results",
+		"store_journal_records",
+	} {
+		if !final.has(name) {
+			return fmt.Errorf("metrics: series %s missing", name)
+		}
+	}
+	for _, prefix := range []string{
+		"http_requests_total{",
+		"http_request_seconds_bucket{",
+		"jobs_job_duration_seconds_count",
+		"jobs_campaign_stage_seconds_count{",
+	} {
+		if !final.hasPrefix(prefix) {
+			return fmt.Errorf("metrics: no series matching %s", prefix)
+		}
+	}
+	if got, was := final.value("engine_experiments_total"), mid.value("engine_experiments_total"); got < was {
+		return fmt.Errorf("engine_experiments_total went backwards: %v then %v", was, got)
+	} else if got <= 0 {
+		return fmt.Errorf("engine_experiments_total = %v after an executed campaign", got)
+	}
+	if v := final.value("jobs_queue_depth"); v != 0 {
+		return fmt.Errorf("jobs_queue_depth = %v after all jobs finished, want 0", v)
+	}
+	if v := final.value("jobs_submitted_total"); v != 2 {
+		return fmt.Errorf("jobs_submitted_total = %v, want 2", v)
+	}
+	if v := final.value("jobs_executed_total"); v != 1 {
+		return fmt.Errorf("jobs_executed_total = %v, want 1", v)
+	}
+	if v := final.value("shards_campaigns_total"); v != 1 {
+		return fmt.Errorf("shards_campaigns_total = %v, want 1", v)
+	}
+	if v := final.value("shards_completed_total"); v < 1 {
+		return fmt.Errorf("shards_completed_total = %v, want >= 1", v)
+	}
+	if v := final.value("store_results"); v != 1 {
+		return fmt.Errorf("store_results = %v, want 1", v)
+	}
 	return nil
 }
 

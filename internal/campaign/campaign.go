@@ -134,6 +134,14 @@ type runnerEntry struct {
 // the bounded cache.
 func RunnerFor(name string, cfg workloads.Config, fopts fault.Options) (*fault.Runner, error) {
 	key := runnerKey{name: name, cfg: cfg, opts: fopts}
+	// The observability registry is a sink, never an input: two requests
+	// that differ only in Obs want the same golden run and checkpoint, so
+	// the registry must not fragment the cache (nor, being a pointer,
+	// could two equal-valued options ever collide on it). The first build
+	// of a triple decides which registry its engine counters feed — in
+	// the daemon every build goes through the manager's registry, so this
+	// is moot there.
+	key.opts.Obs = nil
 	runnerCache.mu.Lock()
 	if runnerCache.m == nil {
 		runnerCache.m = make(map[runnerKey]*runnerEntry)

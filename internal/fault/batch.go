@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"time"
+
 	"repro/internal/iss"
 	"repro/internal/leon3"
 	"repro/internal/mem"
@@ -88,6 +90,7 @@ func (r *Runner) planBatches(exps []Experiment) []planItem {
 	var cur []int
 	flush := func() {
 		if len(cur) > 0 {
+			r.met.lanesPlanned.Add(float64(len(cur)))
 			plan = append(plan, planItem{idx: -1, lanes: cur})
 			cur = nil
 		}
@@ -241,6 +244,10 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 	var snaps []passSnap
 	acc := w.Accs()
 	unresolved := len(lanes)
+	var passStart time.Time
+	if r.met.live {
+		passStart = time.Now()
+	}
 	for core.Status() == iss.StatusRunning {
 		t := core.Cycles()
 		if (t-start)%batchSnapInterval == 0 {
@@ -280,6 +287,10 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 	}
 	w.Stop()
 	goldenEnd := core.Cycles()
+	if r.met.live {
+		r.met.goldenSeconds.Add(time.Since(passStart).Seconds())
+		r.met.goldenCycles.Add(float64(goldenEnd - start))
+	}
 
 	// Lane resolution. Never-activated lanes tracked the golden
 	// trajectory bit-for-bit to program exit: no consumer ever read
@@ -294,9 +305,11 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 			InjectAt: l.injectAt,
 		}
 		if !l.active {
+			r.met.lanesFree.Inc()
 			res.Outcome = OutcomeNoEffect
 			res.Cycles = goldenEnd
 		} else {
+			r.met.lanesActivated.Inc()
 			r.runLane(core, ck, l, &res, snaps, wave, nNets, start, goldenEnd)
 		}
 		results[j] = res
@@ -308,6 +321,7 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 // defensive path for a pass setup failure, which never happens with a
 // same-program core and plan-validated nodes.
 func (r *Runner) runScalarFallback(exps []Experiment, idxs []int) []Result {
+	r.met.fallbacks.Add(float64(len(idxs)))
 	out := make([]Result, len(idxs))
 	for j, i := range idxs {
 		out[j] = r.RunOne(exps[i])
@@ -321,6 +335,7 @@ func (r *Runner) runScalarFallback(exps []Experiment, idxs []int) []Result {
 // them. The comparator comes out exactly as a scalar run's would at t:
 // no mismatch, write index at the golden position.
 func (r *Runner) materialize(core *leon3.Core, ck *checkpoint, snaps []passSnap, start, t uint64) (*mem.Bus, *comparator) {
+	r.met.snapshots.Inc()
 	s := snaps[int((t-start)/batchSnapInterval)]
 	bus := mem.NewBus(s.img.Fork())
 	core.Bus = bus

@@ -26,6 +26,7 @@ import (
 	"repro/internal/iss"
 	"repro/internal/leon3"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 	"repro/internal/sparc"
 	"repro/internal/stats"
@@ -161,6 +162,13 @@ type Options struct {
 	// engine (witnessed pass plus per-lane forks), just without lane
 	// sharing.
 	BatchLanes int
+	// Obs, when non-nil, receives the engine's counters (experiments,
+	// batch-lane funnel, golden-pass throughput). Observation only: it
+	// never influences planning, ordering or results, it is excluded from
+	// the campaign runner-cache identity, and it never reaches content
+	// addressing — a runner with a registry is byte-identical to one
+	// without.
+	Obs *obs.Registry
 }
 
 // Runner executes fault-injection experiments for one program.
@@ -194,6 +202,10 @@ type Runner struct {
 	// used to construct a throwaway core on every call).
 	nodesOnce [2]sync.Once
 	nodesVal  [2][]NodeInfo
+
+	// met holds the engine's metric handles — no-ops unless Options.Obs
+	// was set.
+	met engineMetrics
 }
 
 // freshCore builds a clean RTL core over a copy-on-write fork of the
@@ -222,7 +234,7 @@ func NewRunner(p *asm.Program, opts Options) (*Runner, error) {
 	}
 	m := mem.NewMemory()
 	m.LoadImage(p.Origin, p.Image)
-	r := &Runner{prog: p, opts: opts, baseImg: m.Snapshot()}
+	r := &Runner{prog: p, opts: opts, baseImg: m.Snapshot(), met: newEngineMetrics(opts.Obs)}
 	core, _ := r.freshCore()
 	st := core.Run(200_000_000)
 	if st != iss.StatusExited {
@@ -574,6 +586,7 @@ func (r *Runner) CampaignStopContext(ctx context.Context, exps []Experiment, wor
 	var mu sync.Mutex
 	done, failures := 0, 0
 	deliver := func(i int, res Result) {
+		r.met.experiments.Inc()
 		results[i] = res
 		mu.Lock()
 		ran[i] = true

@@ -1,0 +1,55 @@
+package fault
+
+import "repro/internal/obs"
+
+// engineMetrics is the fault engine's counter set. All handles are
+// nil-safe no-ops when the runner was built without a registry, so the
+// count points below cost one nil check on the library path; `live`
+// additionally gates the few points that would otherwise pay for a
+// time.Now() just to discard it.
+type engineMetrics struct {
+	live bool
+
+	// experiments counts every classified experiment, whichever engine
+	// (scalar, forked, batched) resolved it.
+	experiments *obs.Counter
+	// lanesPlanned/Activated/Free follow the PPSFP funnel: lanes placed
+	// into batch granules, lanes whose fault was read divergently during
+	// the witnessed pass, and lanes finalized from the golden trajectory
+	// without a single faulted cycle.
+	lanesPlanned   *obs.Counter
+	lanesActivated *obs.Counter
+	lanesFree      *obs.Counter
+	// snapshots counts lane materializations from periodic pass snapshots
+	// (forks plus reconvergence teleports).
+	snapshots *obs.Counter
+	// fallbacks counts experiments resolved through runScalarFallback —
+	// nonzero only when a witnessed pass failed to set up.
+	fallbacks *obs.Counter
+	// goldenCycles/goldenSeconds accumulate witnessed golden-pass work;
+	// their rate quotient is the engine's golden-pass cycles/s.
+	goldenCycles  *obs.Counter
+	goldenSeconds *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		live: r != nil,
+		experiments: r.Counter("engine_experiments_total",
+			"Fault-injection experiments executed and classified."),
+		lanesPlanned: r.Counter("engine_batch_lanes_planned_total",
+			"Experiments placed into bit-parallel batch lanes."),
+		lanesActivated: r.Counter("engine_batch_lanes_activated_total",
+			"Batch lanes whose fault was read divergently during the witnessed pass."),
+		lanesFree: r.Counter("engine_batch_lanes_free_total",
+			"Batch lanes finalized from the golden trajectory without scalar simulation."),
+		snapshots: r.Counter("engine_snapshot_materializations_total",
+			"Lane materializations replayed from periodic golden-pass snapshots."),
+		fallbacks: r.Counter("engine_scalar_fallbacks_total",
+			"Experiments resolved through the scalar fallback after a batch pass setup failure."),
+		goldenCycles: r.Counter("engine_golden_pass_cycles_total",
+			"Cycles simulated by witnessed golden passes."),
+		goldenSeconds: r.Counter("engine_golden_pass_seconds_total",
+			"Wall-clock seconds spent in witnessed golden passes."),
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -410,7 +411,7 @@ type Tap func(done, total, failures int)
 // the build is left to finish in the background — where it still
 // populates the process-wide cache for a later resubmission — and the
 // caller returns promptly with ctx.Err().
-func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
+func runnerFor(ctx context.Context, n Request, reg *obs.Registry) (*fault.Runner, error) {
 	// A dead context must not kick off an orphan build: Manager.Close
 	// drains every still-queued job through here with the base context
 	// already cancelled.
@@ -436,6 +437,7 @@ func runnerFor(ctx context.Context, n Request) (*fault.Runner, error) {
 				PulseCycles:      n.PulseCycles,
 				NoCheckpoint:     n.NoCheckpoint,
 				NoBatch:          n.NoBatch,
+				Obs:              reg,
 			})
 		ch <- built{r, err}
 	}()
@@ -481,15 +483,29 @@ func experimentsFor(r *fault.Runner, n Request) []fault.Experiment {
 // construction. Sharded execution (ShardPool, ExecuteSharded) reassembles
 // the same per-experiment array and therefore the same bytes.
 func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error) {
+	return ExecuteObs(ctx, req, workers, tap, nil)
+}
+
+// ExecuteObs is Execute with an optional metrics registry threaded to the
+// fault engine's counters. A tracer carried on ctx (obs.WithTracer)
+// additionally receives per-stage timings: golden (runner build or cache
+// hit), plan (experiment expansion), execute (engine), assemble (outcome
+// encoding). With reg == nil and no tracer it is Execute, byte for byte.
+func ExecuteObs(ctx context.Context, req Request, workers int, tap Tap, reg *obs.Registry) (*Outcome, error) {
+	tr := obs.TracerFrom(ctx)
 	n, err := req.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	r, err := runnerFor(ctx, n)
+	endGolden := tr.Stage("golden")
+	r, err := runnerFor(ctx, n, reg)
+	endGolden()
 	if err != nil {
 		return nil, err
 	}
+	endPlan := tr.Stage("plan")
 	exps := experimentsFor(r, n)
+	endPlan()
 
 	var mu sync.Mutex
 	done, failures := 0, 0
@@ -502,6 +518,7 @@ func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, 
 			return campaign.Tally{Done: done, Failures: failures}.Converged(n.Epsilon, stats.Z95)
 		}
 	}
+	endExec := tr.Stage("execute")
 	results, ran, err := r.CampaignStopContext(ctx, exps, workers, func(i int, res fault.Result) {
 		if tap == nil {
 			return
@@ -514,9 +531,12 @@ func Execute(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, 
 		tap(done, len(exps), failures)
 		mu.Unlock()
 	}, stop)
+	endExec()
 	if err != nil {
 		return nil, err
 	}
+	endAsm := tr.Stage("assemble")
+	defer endAsm()
 	out := make([]ExperimentOutcome, 0, len(results))
 	for i, res := range results {
 		if ran[i] {
@@ -548,11 +568,19 @@ type ShardOutput struct {
 // shard-local completions (done counts shard experiments, total is the
 // shard size).
 func ExecuteShard(ctx context.Context, req Request, start, end, workers int, tap Tap) (*ShardOutput, error) {
+	return ExecuteShardObs(ctx, req, start, end, workers, tap, nil)
+}
+
+// ExecuteShardObs is ExecuteShard with an optional metrics registry
+// threaded to the fault engine. Shard execution deliberately carries no
+// stage tracer: many shards share one campaign, so per-shard spans would
+// double-count into the campaign's stage histogram.
+func ExecuteShardObs(ctx context.Context, req Request, start, end, workers int, tap Tap, reg *obs.Registry) (*ShardOutput, error) {
 	n, err := req.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	r, err := runnerFor(ctx, n)
+	r, err := runnerFor(ctx, n, reg)
 	if err != nil {
 		return nil, err
 	}

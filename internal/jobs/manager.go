@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -83,6 +85,17 @@ type ManagerOptions struct {
 	// the shard pool's Execute when Shards > 1). Tests substitute
 	// deterministic or blocking executors here.
 	Executor func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error)
+	// Obs, when non-nil, receives the service's metrics: manager counters
+	// mirroring Stats, a queue-depth gauge, job and per-stage latency
+	// histograms, shard-pool counters, the engine's counters, and — under
+	// OpenManager — store/journal gauges. Pure observation with a no-op
+	// default: a manager without a registry produces byte-identical
+	// outcomes and content addresses.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured job lifecycle logs with
+	// per-job and per-shard attributes. Nil discards them — the library
+	// path stays silent; the daemon wires its slog handler here.
+	Log *slog.Logger
 }
 
 // Stats counts what the manager has done since it started. Submitted is
@@ -142,6 +155,9 @@ type Manager struct {
 	pool    *ShardPool   // non-nil when opts.Shards > 1 selected sharded execution
 	persist *persistence // non-nil when OpenManager bound a data directory
 
+	met managerMetrics
+	log *slog.Logger
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -182,6 +198,15 @@ func newManager(opts ManagerOptions, p *persistence) *Manager {
 		persist: p,
 		jobs:    map[string]*job{},
 		byKey:   map[string]*job{},
+		met:     newManagerMetrics(opts.Obs),
+		log:     opts.Log,
+	}
+	if m.log == nil {
+		m.log = slog.New(slog.DiscardHandler)
+	}
+	if p != nil {
+		p.log = m.log
+		p.registerMetrics(opts.Obs)
 	}
 	if m.exec == nil {
 		if opts.Shards > 1 {
@@ -189,13 +214,26 @@ func newManager(opts ManagerOptions, p *persistence) *Manager {
 				Shards:       opts.Shards,
 				LocalWorkers: opts.ShardLocalWorkers,
 				LeaseTTL:     opts.ShardLeaseTTL,
+				Obs:          opts.Obs,
+				Log:          m.log,
 				persist:      poolPersist(p),
 			})
 			m.exec = m.pool.Execute
 		} else {
-			m.exec = Execute
+			reg := opts.Obs
+			m.exec = func(ctx context.Context, req Request, workers int, tap Tap) (*Outcome, error) {
+				return ExecuteObs(ctx, req, workers, tap, reg)
+			}
 		}
 	}
+	// Scrape-time gauge: the live queued count already lives behind the
+	// manager lock, so read it there instead of mirroring it.
+	opts.Obs.GaugeFunc("jobs_queue_depth",
+		"Jobs queued but not yet running.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.queued)
+		})
 	m.cond = sync.NewCond(&m.mu)
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < opts.Concurrency; i++ {
@@ -246,10 +284,13 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 	}
 	if j := m.byKey[key]; j != nil {
 		m.stats.Submitted++
+		m.met.submitted.Inc()
 		if j.state == StateDone {
 			m.stats.CacheHits++
+			m.met.cacheHits.Inc()
 		} else {
 			m.stats.Coalesced++
+			m.met.coalesced.Inc()
 		}
 		return m.statusLocked(j), false, nil
 	}
@@ -260,6 +301,8 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 		if out, ok := m.persist.loadOutcome(key); ok {
 			m.stats.Submitted++
 			m.stats.CacheHits++
+			m.met.submitted.Inc()
+			m.met.cacheHits.Inc()
 			j := m.installStoredLocked(key, n, out)
 			return m.statusLocked(j), false, nil
 		}
@@ -278,6 +321,7 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 		}
 	}
 	m.stats.Submitted++
+	m.met.submitted.Inc()
 	m.seq++
 	j := &job{
 		id:       fmt.Sprintf("job-%06d", m.seq),
@@ -294,7 +338,17 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 	m.byKey[key] = j
 	m.pruneLocked()
 	m.cond.Signal()
+	m.log.Info("job submitted", "job", j.id, "key", shortKey(key), "workload", n.Workload)
 	return m.statusLocked(j), true, nil
+}
+
+// shortKey abbreviates a content address for log attrs, mirroring the
+// 12-hex prefix lease ids already use.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // installStoredLocked materializes a persistent-store hit as an
@@ -344,6 +398,7 @@ func (m *Manager) submitRecovered(rj *RecoveredJob) error {
 	}
 	m.persist.stashRecovered(key, rj.Completed)
 	m.stats.Submitted++
+	m.met.submitted.Inc()
 	m.seq++
 	j := &job{
 		id:       fmt.Sprintf("job-%06d", m.seq),
@@ -548,7 +603,13 @@ func (m *Manager) worker() {
 		m.notifyLocked(j)
 		m.mu.Unlock()
 
-		out, err := m.exec(ctx, j.req, m.opts.CampaignWorkers, func(done, total, failures int) {
+		// The tracer rides the executor context so the unchanged Executor
+		// seam still yields per-stage timings; its spans also join the
+		// job-finished log line below.
+		tr := obs.NewTracer(m.met.stageSeconds)
+		m.log.Info("job started", "job", j.id, "key", shortKey(j.key), "workload", j.req.Workload)
+		started := time.Now()
+		out, err := m.exec(obs.WithTracer(ctx, tr), j.req, m.opts.CampaignWorkers, func(done, total, failures int) {
 			m.mu.Lock()
 			j.done, j.total, j.failures = done, total, failures
 			if j.step == 0 {
@@ -561,6 +622,8 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 		})
 		cancel()
+		dur := time.Since(started)
+		m.met.jobSeconds.Observe(dur.Seconds())
 
 		// Commit the outcome before the in-memory terminal transition
 		// journals job_done: recovery treats a done record as "the result
@@ -575,6 +638,7 @@ func (m *Manager) worker() {
 			j.state = StateDone
 			j.result = out
 			m.stats.Executed++
+			m.met.executed.Inc()
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			j.state = StateCancelled
 			j.errMsg = err.Error()
@@ -582,7 +646,19 @@ func (m *Manager) worker() {
 			j.state = StateFailed
 			j.errMsg = err.Error()
 		}
+		state, errMsg := j.state, j.errMsg
 		m.finishLocked(j)
+		m.mu.Unlock()
+
+		args := []any{"job", j.id, "key", shortKey(j.key), "state", string(state), "duration_s", dur.Seconds()}
+		for _, sp := range tr.Spans() {
+			args = append(args, "stage_"+sp.Stage+"_s", sp.Seconds)
+		}
+		if errMsg != "" {
+			args = append(args, "error", errMsg)
+		}
+		m.log.Info("job finished", args...)
+		m.mu.Lock()
 	}
 }
 

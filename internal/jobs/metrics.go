@@ -1,0 +1,85 @@
+package jobs
+
+import "repro/internal/obs"
+
+// This file holds the job service's metric handles. Everything is
+// nil-safe: a manager built without ManagerOptions.Obs carries no-op
+// handles, so the instrumented code paths below cost a nil check each
+// and the in-memory library path behaves exactly as before. Counters
+// mirror the Stats/ShardStats snapshot structs one-for-one — the
+// snapshots stay the HTTP healthz payload, the counters give the same
+// numbers a time dimension.
+
+// managerMetrics instruments the job manager.
+type managerMetrics struct {
+	submitted *obs.Counter
+	coalesced *obs.Counter
+	cacheHits *obs.Counter
+	executed  *obs.Counter
+	// jobSeconds observes wall-clock executor latency per executed job
+	// (coalesced and cache-hit submissions never reach the executor).
+	jobSeconds *obs.Histogram
+	// stageSeconds breaks a campaign execution into its stages (golden,
+	// plan, execute, assemble) via the obs.Tracer each worker threads
+	// through the executor context.
+	stageSeconds *obs.HistogramVec
+}
+
+func newManagerMetrics(r *obs.Registry) managerMetrics {
+	return managerMetrics{
+		submitted: r.Counter("jobs_submitted_total",
+			"Campaign submissions accepted (including coalesced and cache hits)."),
+		coalesced: r.Counter("jobs_coalesced_total",
+			"Submissions that joined an in-flight job with the same content key."),
+		cacheHits: r.Counter("jobs_cache_hits_total",
+			"Submissions answered from the completed result cache or the on-disk store."),
+		executed: r.Counter("jobs_executed_total",
+			"Campaigns that actually ran the engine."),
+		jobSeconds: r.Histogram("jobs_job_duration_seconds",
+			"Executor wall-clock latency per executed job.", obs.DurationBuckets),
+		stageSeconds: r.HistogramVec("jobs_campaign_stage_seconds",
+			"Per-stage campaign execution latency.", obs.DurationBuckets, "stage"),
+	}
+}
+
+// shardMetrics instruments the shard pool and its coordinators.
+type shardMetrics struct {
+	campaigns *obs.Counter
+	leased    *obs.Counter
+	completed *obs.Counter
+	requeued  *obs.Counter
+	// reclaimed is the subset of requeues caused by TTL expiry of a
+	// silent lease (dead worker), as opposed to explicit Fail reports.
+	reclaimed *obs.Counter
+	// poisoned counts campaigns failed by a shard exhausting its
+	// failure/reclaim bounds or reporting diverged golden-run metadata.
+	poisoned     *obs.Counter
+	earlyStopped *obs.Counter
+}
+
+// newShardMetrics registers the pool's counters plus the in-flight lease
+// gauge, which reads len(p.owner) at scrape time.
+func newShardMetrics(r *obs.Registry, p *ShardPool) shardMetrics {
+	r.GaugeFunc("shards_inflight",
+		"Shard leases currently held by workers.", func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(len(p.owner))
+		})
+	return shardMetrics{
+		campaigns: r.Counter("shards_campaigns_total",
+			"Sharded campaigns executed."),
+		leased: r.Counter("shards_leased_total",
+			"Shard leases handed out (including re-leases of requeued shards)."),
+		completed: r.Counter("shards_completed_total",
+			"Shard results merged into their campaign."),
+		requeued: r.Counter("shards_requeued_total",
+			"Shards put back in the queue after a worker failure or lease expiry."),
+		reclaimed: r.Counter("shards_reclaimed_total",
+			"Shard leases reclaimed after their TTL expired (silent worker)."),
+		poisoned: r.Counter("shards_poisoned_total",
+			"Campaigns failed by a shard exhausting its failure or reclaim bound."),
+		earlyStopped: r.Counter("shards_early_stopped_total",
+			"Sharded campaigns halted by the adaptive epsilon rule."),
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -77,6 +79,7 @@ type RecoveryInfo struct {
 type persistence struct {
 	store   *store.Store
 	journal *store.Journal
+	log     *slog.Logger
 
 	mu        sync.Mutex
 	recovered map[string][]ShardOutput // journaled completed shards, by campaign key
@@ -93,8 +96,37 @@ func openPersistence(dir string) (*persistence, []*RecoveredJob, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
 	}
-	p := &persistence{store: st, journal: j, recovered: map[string][]ShardOutput{}}
+	p := &persistence{
+		store: st, journal: j, recovered: map[string][]ShardOutput{},
+		log: slog.New(slog.DiscardHandler),
+	}
 	return p, replayJournal(recs), nil
+}
+
+// registerMetrics exposes the store and journal as scrape-time gauges.
+// Everything reads a consistent snapshot under the component's own lock,
+// so the numbers stay live without per-write counter plumbing.
+func (p *persistence) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("store_results",
+		"Verified campaign outcomes in the on-disk result store.", func() float64 {
+			return float64(p.store.Len())
+		})
+	reg.GaugeFunc("store_journal_size_bytes",
+		"Bytes of valid records in the write-ahead journal.", func() float64 {
+			return float64(p.journal.Stats().SizeBytes)
+		})
+	reg.GaugeFunc("store_journal_records",
+		"Live records in the write-ahead journal.", func() float64 {
+			return float64(p.journal.Stats().Records)
+		})
+	reg.CounterFunc("store_journal_fsyncs_total",
+		"Fsync calls issued against the journal file.", func() float64 {
+			return float64(p.journal.Stats().Fsyncs)
+		})
+	reg.GaugeFunc("store_journal_compaction_age_seconds",
+		"Seconds since the journal was last compacted (or opened).", func() float64 {
+			return time.Since(p.journal.Stats().LastCompaction).Seconds()
+		})
 }
 
 // replayJournal folds the journal's records into the jobs that were
@@ -195,7 +227,7 @@ func (p *persistence) journalJobEnd(state State, key string, errMsg string) {
 		}{errMsg}
 	}
 	if err := p.journal.AppendSync(typ, key, data); err != nil {
-		log.Printf("jobs: journal %s: %v", typ, err)
+		p.log.Error("journal append failed", "record", typ, "key", shortKey(key), "error", err)
 	}
 }
 
@@ -205,11 +237,11 @@ func (p *persistence) journalJobEnd(state State, key string, errMsg string) {
 func (p *persistence) saveOutcome(key string, out *Outcome) {
 	var buf bytes.Buffer
 	if err := EncodeOutcome(&buf, out); err != nil {
-		log.Printf("jobs: encoding outcome %.12s for store: %v", key, err)
+		p.log.Error("encoding outcome for store failed", "key", shortKey(key), "error", err)
 		return
 	}
 	if err := p.store.Put(key, buf.Bytes()); err != nil {
-		log.Printf("jobs: persisting outcome %.12s: %v", key, err)
+		p.log.Error("persisting outcome failed", "key", shortKey(key), "error", err)
 	}
 }
 
@@ -239,7 +271,7 @@ func (p *persistence) ShardEvent(typ, key string, data interface{}) {
 		err = p.journal.Append(typ, key, data)
 	}
 	if err != nil {
-		log.Printf("jobs: journal %s: %v", typ, err)
+		p.log.Error("journal append failed", "record", typ, "key", shortKey(key), "error", err)
 	}
 }
 
@@ -267,7 +299,7 @@ func (p *persistence) TakeRecovered(key string) []ShardOutput {
 // Close flushes and closes the journal.
 func (p *persistence) Close() {
 	if err := p.journal.Close(); err != nil {
-		log.Printf("jobs: closing journal: %v", err)
+		p.log.Error("closing journal failed", "error", err)
 	}
 }
 
@@ -306,7 +338,7 @@ func OpenManager(opts ManagerOptions) (*Manager, RecoveryInfo, error) {
 		if err := m.submitRecovered(rj); err != nil {
 			// A request that no longer normalizes (e.g. a workload removed
 			// between releases) cannot resume; log and drop it.
-			log.Printf("jobs: dropping unrecoverable job %.12s: %v", rj.Key, err)
+			m.log.Warn("dropping unrecoverable job", "key", shortKey(rj.Key), "error", err)
 			continue
 		}
 		info.ResumedJobs++

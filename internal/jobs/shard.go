@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -168,6 +170,10 @@ type Coordinator struct {
 	// persist, when non-nil, journals shard lifecycle events so a
 	// restarted coordinator resumes from the completed shards.
 	persist shardPersist
+	// met and log are inherited from the owning pool (no-op/discard when
+	// the pool is uninstrumented).
+	met shardMetrics
+	log *slog.Logger
 
 	mu       sync.Mutex
 	pending  []ShardRange
@@ -192,7 +198,8 @@ type Coordinator struct {
 // that never durably finished, and because the expansion is a pure
 // function of the request the merged outcome is byte-identical to an
 // undisturbed run.
-func newCoordinator(ctx context.Context, req Request, shards int, onProgress func(campaign.Tally, int), persist shardPersist) (*Coordinator, error) {
+func newCoordinator(ctx context.Context, p *ShardPool, req Request, onProgress func(campaign.Tally, int)) (*Coordinator, error) {
+	persist := p.opts.persist
 	n, err := req.Normalize()
 	if err != nil {
 		return nil, err
@@ -201,7 +208,7 @@ func newCoordinator(ctx context.Context, req Request, shards int, onProgress fun
 	if err != nil {
 		return nil, err
 	}
-	r, err := runnerFor(ctx, n)
+	r, err := runnerFor(ctx, n, p.opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +221,9 @@ func newCoordinator(ctx context.Context, req Request, shards int, onProgress fun
 		checkpointed: r.Checkpointed(),
 		onProgress:   onProgress,
 		persist:      persist,
-		pending:      PlanShards(total, shards),
+		met:          p.met,
+		log:          p.log,
+		pending:      PlanShards(total, p.opts.Shards),
 		attempts:     map[int]int{},
 		reclaims:     map[int]int{},
 		leases:       map[string]*shardLease{},
@@ -546,6 +555,10 @@ func (c *Coordinator) fatalLocked(err error) {
 	if c.done {
 		return
 	}
+	c.met.poisoned.Inc()
+	if c.log != nil {
+		c.log.Warn("sharded campaign poisoned", "key", shortKey(c.key), "error", err)
+	}
 	c.err = err
 	c.pending = nil
 	c.leases = map[string]*shardLease{}
@@ -610,6 +623,14 @@ type ShardPoolOptions struct {
 	// LeaseTTL bounds how long a silent lease pins its shard before the
 	// shard is requeued for another worker. Default 2 minutes.
 	LeaseTTL time.Duration
+	// Obs, when non-nil, receives the pool's shard lifecycle counters and
+	// the fault engine's counters for locally executed shards. Purely
+	// observational — see ManagerOptions.Obs.
+	Obs *obs.Registry
+	// Log, when non-nil, receives shard lifecycle events (leases and
+	// completions at Debug, reclaims at Info, poisoned shards at Warn).
+	// Nil discards.
+	Log *slog.Logger
 	// persist, when non-nil, journals every coordinator's shard
 	// lifecycle and preloads recovered completed shards. Only the
 	// manager sets it (through OpenManager's data directory).
@@ -624,6 +645,8 @@ type ShardPoolOptions struct {
 // that attaches mid-campaign simply starts winning leases.
 type ShardPool struct {
 	opts ShardPoolOptions
+	met  shardMetrics
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	active []*Coordinator
@@ -639,7 +662,12 @@ func NewShardPool(opts ShardPoolOptions) *ShardPool {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 2 * time.Minute
 	}
-	return &ShardPool{opts: opts, owner: map[string]*Coordinator{}}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
+	}
+	p := &ShardPool{opts: opts, log: opts.Log, owner: map[string]*Coordinator{}}
+	p.met = newShardMetrics(opts.Obs, p)
+	return p
 }
 
 // Execute runs one campaign sharded and returns its canonical outcome;
@@ -653,7 +681,10 @@ func (p *ShardPool) Execute(ctx context.Context, req Request, workers int, tap T
 			tap(t.Done, total, t.Failures)
 		}
 	}
-	c, err := newCoordinator(ctx, req, p.opts.Shards, onProgress, p.opts.persist)
+	tr := obs.TracerFrom(ctx)
+	endGolden := tr.Stage("golden")
+	c, err := newCoordinator(ctx, p, req, onProgress)
+	endGolden()
 	if err != nil {
 		return nil, err
 	}
@@ -661,8 +692,14 @@ func (p *ShardPool) Execute(ctx context.Context, req Request, workers int, tap T
 	p.mu.Lock()
 	p.active = append(p.active, c)
 	p.stats.Campaigns++
-	p.stats.Planned += len(c.pending)
+	// Snapshot the shard count before c becomes leasable: once p.mu is
+	// released, workers mutate c.pending under c.mu.
+	planned := len(c.pending)
+	p.stats.Planned += planned
 	p.mu.Unlock()
+	p.met.campaigns.Inc()
+	p.log.Debug("sharded campaign planned",
+		"key", shortKey(c.key), "experiments", c.total, "shards", planned)
 	defer p.unregister(c)
 
 	if tap != nil {
@@ -700,6 +737,10 @@ func (p *ShardPool) Execute(ctx context.Context, req Request, workers int, tap T
 					p.mu.Lock()
 					p.stats.Requeued += n
 					p.mu.Unlock()
+					p.met.reclaimed.Add(float64(n))
+					p.met.requeued.Add(float64(n))
+					p.log.Info("reclaimed expired shard leases",
+						"key", shortKey(c.key), "count", n, "ttl", p.opts.LeaseTTL)
 					if p.opts.LocalWorkers >= 0 {
 						go p.localWorker(ctx, c, "local-reclaim")
 					}
@@ -707,11 +748,14 @@ func (p *ShardPool) Execute(ctx context.Context, req Request, workers int, tap T
 			}
 		}
 	}()
+	endExec := tr.Stage("execute")
 	out, err := c.Wait(ctx)
+	endExec()
 	if err == nil && out.EarlyStopped {
 		p.mu.Lock()
 		p.stats.EarlyStopped++
 		p.mu.Unlock()
+		p.met.earlyStopped.Inc()
 	}
 	return out, err
 }
@@ -750,14 +794,14 @@ func (p *ShardPool) localWorker(ctx context.Context, c *Coordinator, name string
 				}
 			}
 		}()
-		out, err := ExecuteShard(sctx, l.Request, l.Range.Start, l.Range.End, 1, func(done, total, failures int) {
+		out, err := ExecuteShardObs(sctx, l.Request, l.Range.Start, l.Range.End, 1, func(done, total, failures int) {
 			mu.Lock()
 			last = campaign.Tally{Done: done, Failures: failures}
 			mu.Unlock()
 			if c.Progress(l.Lease, done, failures) {
 				cancel()
 			}
-		})
+		}, p.opts.Obs)
 		close(kaStop)
 		cancel()
 		switch {
@@ -818,6 +862,9 @@ func (p *ShardPool) Lease(worker string) (*ShardLease, bool) {
 	p.mu.Lock()
 	p.stats.Requeued += reclaimed
 	p.mu.Unlock()
+	p.met.reclaimed.Add(float64(reclaimed))
+	p.met.requeued.Add(float64(reclaimed))
+	p.log.Info("reclaimed expired shard leases", "count", reclaimed, "ttl", ttl)
 	for _, c := range active {
 		if l, ok := c.Lease(worker); ok {
 			p.record(c, l, worker)
@@ -839,6 +886,9 @@ func (p *ShardPool) record(c *Coordinator, l *ShardLease, worker string) {
 	}
 	p.stats.Workers[worker]++
 	p.mu.Unlock()
+	p.met.leased.Inc()
+	p.log.Debug("shard leased", "lease", l.Lease, "worker", worker,
+		"shard", l.Range.Index, "start", l.Range.Start, "end", l.Range.End)
 }
 
 // KeepaliveInterval paces a worker's lease keepalives: a third of the
@@ -884,6 +934,9 @@ func (p *ShardPool) Complete(res ShardResult) error {
 		delete(p.owner, res.Lease)
 		p.stats.Completed++
 		p.mu.Unlock()
+		p.met.completed.Inc()
+		p.log.Debug("shard completed", "lease", res.Lease,
+			"experiments", len(res.Output.Indices))
 	}
 	return err
 }
@@ -902,6 +955,8 @@ func (p *ShardPool) Fail(leaseID, msg string) error {
 		delete(p.owner, leaseID)
 		p.stats.Requeued++
 		p.mu.Unlock()
+		p.met.requeued.Inc()
+		p.log.Info("shard failed by worker, requeued", "lease", leaseID, "error", msg)
 	}
 	return err
 }
@@ -913,6 +968,9 @@ func (p *ShardPool) complete(c *Coordinator, res ShardResult) {
 		delete(p.owner, res.Lease)
 		p.stats.Completed++
 		p.mu.Unlock()
+		p.met.completed.Inc()
+		p.log.Debug("shard completed", "lease", res.Lease,
+			"experiments", len(res.Output.Indices))
 	}
 }
 
@@ -923,6 +981,8 @@ func (p *ShardPool) fail(c *Coordinator, leaseID, msg string) {
 		delete(p.owner, leaseID)
 		p.stats.Requeued++
 		p.mu.Unlock()
+		p.met.requeued.Inc()
+		p.log.Info("shard failed by worker, requeued", "lease", leaseID, "error", msg)
 	}
 }
 

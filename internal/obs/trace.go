@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Tracer times the named stages of one campaign execution (golden-model
+// build, experiment planning, engine execution, outcome assembly). It is
+// carried through the jobs executor seam on a context — the Executor
+// function signature predates observability and stays unchanged — and
+// feeds a per-stage histogram when one is attached. A nil *Tracer is a
+// valid no-op, so engine code calls Stage unconditionally.
+type Tracer struct {
+	hist *HistogramVec // stage-seconds histogram, labelled by stage; may be nil
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed stage timing.
+type Span struct {
+	Stage   string
+	Seconds float64
+}
+
+// NewTracer returns a tracer that records spans and, when hist is
+// non-nil, observes each stage's duration into hist.With(stage).
+func NewTracer(hist *HistogramVec) *Tracer {
+	return &Tracer{hist: hist}
+}
+
+// Stage starts timing the named stage and returns the function that stops
+// it. The stop function is idempotent. Safe on a nil receiver.
+func (t *Tracer) Stage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			secs := time.Since(start).Seconds()
+			t.mu.Lock()
+			t.spans = append(t.spans, Span{Stage: name, Seconds: secs})
+			t.mu.Unlock()
+			t.hist.With(name).Observe(secs)
+		})
+	}
+}
+
+// Spans returns the completed stage timings in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type tracerCtxKey struct{}
+
+// WithTracer attaches t to the context.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil — which is itself
+// a usable no-op tracer.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t
+}

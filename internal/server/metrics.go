@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics instruments the HTTP transport. All handles are nil-safe
+// no-ops when the server was built without WithObs.
+type serverMetrics struct {
+	requests      *obs.CounterVec
+	latency       *obs.HistogramVec
+	activeStreams *obs.Gauge
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		requests: r.CounterVec("http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: r.HistogramVec("http_request_seconds",
+			"HTTP request latency, by route pattern.", obs.DurationBuckets, "route"),
+		activeStreams: r.Gauge("http_active_streams",
+			"NDJSON progress streams currently open."),
+	}
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label the request counter with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher so the NDJSON stream endpoint keeps
+// flushing per line through the recorder.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with request counting and latency timing.
+// The route label is the matched ServeMux pattern — bounded cardinality
+// by construction — with unmatched requests grouped under "unmatched".
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.met.requests.With(route, httpCode(sr.code)).Inc()
+		s.met.latency.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// httpCode renders a status code label without fmt.
+func httpCode(c int) string {
+	if c >= 100 && c < 1000 {
+		var b [3]byte
+		b[0] = byte('0' + c/100)
+		b[1] = byte('0' + c/10%10)
+		b[2] = byte('0' + c%10)
+		return string(b[:])
+	}
+	return "000"
+}

@@ -51,8 +51,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -60,6 +62,15 @@ import (
 type Server struct {
 	mgr *jobs.Manager
 	mux *http.ServeMux
+
+	// Observability: a nil registry leaves every handle a no-op and
+	// /metrics serving an empty (valid) exposition.
+	reg   *obs.Registry
+	met   serverMetrics
+	start time.Time
+	// Boot info surfaced on /healthz (WithBootInfo).
+	dataDir  string
+	recovery *jobs.RecoveryInfo
 
 	// ready gates /readyz: false (503) until the daemon finishes boot
 	// work — durability recovery above all — and calls SetReady.
@@ -73,9 +84,32 @@ type Server struct {
 	streams  sync.WaitGroup
 }
 
+// Option configures a Server beyond its manager.
+type Option func(*Server)
+
+// WithObs exposes reg on GET /metrics and instruments every route with
+// request/latency series. Purely observational: the API payloads are
+// identical with or without it.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithBootInfo surfaces the daemon's durability mode and recovery
+// summary on /healthz.
+func WithBootInfo(info jobs.RecoveryInfo, dataDir string) Option {
+	return func(s *Server) {
+		s.dataDir = dataDir
+		s.recovery = &info
+	}
+}
+
 // New builds the HTTP front end of a job manager.
-func New(mgr *jobs.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+func New(mgr *jobs.Manager, options ...Option) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range options {
+		o(s)
+	}
+	s.met = newServerMetrics(s.reg)
 	s.mux.HandleFunc("POST /api/v1/campaigns", s.submit)
 	s.mux.HandleFunc("GET /api/v1/campaigns", s.list)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.status)
@@ -86,6 +120,7 @@ func New(mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("GET /api/v1/healthz", s.healthz)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("POST /api/v1/shards/lease", s.shardLease)
 	s.mux.HandleFunc("POST /api/v1/shards/{lease}/progress", s.shardProgress)
 	s.mux.HandleFunc("POST /api/v1/shards/{lease}/complete", s.shardComplete)
@@ -93,8 +128,8 @@ func New(mgr *jobs.Manager) *Server {
 	return s
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler: the instrumented mux.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // SetReady flips /readyz to 200. Call it once boot work that readiness
 // promises — journal replay, result-store open, recovered-job
@@ -244,6 +279,8 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.streams.Done()
+	s.met.activeStreams.Inc()
+	defer s.met.activeStreams.Dec()
 	ch, unsub, err := s.mgr.Watch(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, errCode(err), err)
@@ -279,12 +316,41 @@ func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
 	}{Workloads: workloads.Names()})
 }
 
+// recoverySummary is the /healthz rendering of jobs.RecoveryInfo.
+type recoverySummary struct {
+	StoredResults   int  `json:"stored_results"`
+	ResumedJobs     int  `json:"resumed_jobs"`
+	RecoveredShards int  `json:"recovered_shards"`
+	TornTail        bool `json:"torn_tail"`
+}
+
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
-		Status string           `json:"status"`
-		Stats  jobs.Stats       `json:"stats"`
-		Shards *jobs.ShardStats `json:"shards,omitempty"`
-	}{Status: "ok", Stats: s.mgr.ManagerStats()}
+		Status        string           `json:"status"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Mode          string           `json:"mode"`
+		DataDir       string           `json:"data_dir,omitempty"`
+		Recovery      *recoverySummary `json:"recovery,omitempty"`
+		Stats         jobs.Stats       `json:"stats"`
+		Shards        *jobs.ShardStats `json:"shards,omitempty"`
+	}{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Mode:          "ephemeral",
+		DataDir:       s.dataDir,
+		Stats:         s.mgr.ManagerStats(),
+	}
+	if s.dataDir != "" {
+		resp.Mode = "durable"
+	}
+	if s.recovery != nil {
+		resp.Recovery = &recoverySummary{
+			StoredResults:   s.recovery.StoredResults,
+			ResumedJobs:     s.recovery.ResumedJobs,
+			RecoveredShards: s.recovery.RecoveredShards,
+			TornTail:        s.recovery.TornTail,
+		}
+	}
 	if pool := s.mgr.ShardPool(); pool != nil {
 		st := pool.Stats()
 		resp.Shards = &st

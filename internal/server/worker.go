@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // Worker is the pull side of the shard protocol: the loop behind
@@ -47,34 +48,68 @@ type Worker struct {
 	BackoffMax time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
-	// Log, when non-nil, receives worker lifecycle messages.
-	Log *log.Logger
+	// Log, when non-nil, receives worker lifecycle messages; nil
+	// discards.
+	Log *slog.Logger
+	// Obs, when non-nil, receives the worker's counters
+	// (worker_shards_executed_total, worker_report_retries_total,
+	// worker_dropped_total) and the current lease-poll backoff gauge —
+	// the series behind a worker-mode -metrics-addr listener.
+	Obs *obs.Registry
 
 	stats WorkerStats
+	// backoffNanos is the current lease-poll backoff, exported as the
+	// worker_backoff_seconds gauge: zero while the coordinator answers,
+	// climbing toward BackoffMax while it is unreachable.
+	backoffNanos int64
 }
 
-// WorkerStats counts a worker's report-channel outcomes. Retries are
-// re-sent completion/failure reports after a transient coordinator
-// error; Dropped are shards whose completed work was abandoned after
-// every retry failed (the lease TTL requeues them — the experiments are
-// re-executed, never lost).
+// WorkerStats counts a worker's shard and report-channel outcomes.
+// Retries are re-sent completion/failure reports after a transient
+// coordinator error; Dropped are shards whose completed work was
+// abandoned after every retry failed (the lease TTL requeues them — the
+// experiments are re-executed, never lost).
 type WorkerStats struct {
-	ReportRetries int64 `json:"report_retries"`
-	Dropped       int64 `json:"dropped"`
+	ShardsExecuted int64 `json:"shards_executed"`
+	ReportRetries  int64 `json:"report_retries"`
+	Dropped        int64 `json:"dropped"`
 }
 
 // Stats returns the worker's counters. Safe for concurrent use.
 func (w *Worker) Stats() WorkerStats {
 	return WorkerStats{
-		ReportRetries: atomic.LoadInt64(&w.stats.ReportRetries),
-		Dropped:       atomic.LoadInt64(&w.stats.Dropped),
+		ShardsExecuted: atomic.LoadInt64(&w.stats.ShardsExecuted),
+		ReportRetries:  atomic.LoadInt64(&w.stats.ReportRetries),
+		Dropped:        atomic.LoadInt64(&w.stats.Dropped),
 	}
 }
 
-func (w *Worker) logf(format string, args ...interface{}) {
+// RegisterMetrics exposes the worker's counters on reg at scrape time.
+// Call once before Run; a nil registry is a no-op.
+func (w *Worker) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("worker_shards_executed_total",
+		"Shards this worker leased and executed.", func() float64 {
+			return float64(atomic.LoadInt64(&w.stats.ShardsExecuted))
+		})
+	reg.CounterFunc("worker_report_retries_total",
+		"Terminal shard reports re-sent after a transient coordinator error.", func() float64 {
+			return float64(atomic.LoadInt64(&w.stats.ReportRetries))
+		})
+	reg.CounterFunc("worker_dropped_total",
+		"Completed shards abandoned after every report retry failed.", func() float64 {
+			return float64(atomic.LoadInt64(&w.stats.Dropped))
+		})
+	reg.GaugeFunc("worker_backoff_seconds",
+		"Current lease-poll backoff (zero while the coordinator answers).", func() float64 {
+			return time.Duration(atomic.LoadInt64(&w.backoffNanos)).Seconds()
+		})
+}
+
+func (w *Worker) log() *slog.Logger {
 	if w.Log != nil {
-		w.Log.Printf(format, args...)
+		return w.Log
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 func (w *Worker) client() *http.Client {
@@ -104,6 +139,16 @@ func (w *Worker) backoffMax() time.Duration {
 // outlive coordinator restarts, and the jitter spreads a whole fleet's
 // re-lease stampede after one.
 func (w *Worker) Run(ctx context.Context) error {
+	w.RegisterMetrics(w.Obs)
+	defer func() {
+		// The final line a dying worker leaves behind: how much it did and
+		// how much of its work had to be abandoned to the lease TTL.
+		st := w.Stats()
+		w.log().Info("worker shutting down",
+			"shards_executed", st.ShardsExecuted,
+			"report_retries", st.ReportRetries,
+			"dropped", st.Dropped)
+	}()
 	backoff := w.poll()
 	for {
 		if err := ctx.Err(); err != nil {
@@ -111,7 +156,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		lease, err := w.lease()
 		if err != nil {
-			w.logf("lease: %v (retrying in ~%v)", err, backoff)
+			atomic.StoreInt64(&w.backoffNanos, int64(backoff))
+			w.log().Warn("lease poll failed", "error", err, "backoff", backoff)
 			if !sleepJitter(ctx, backoff) {
 				return ctx.Err()
 			}
@@ -124,6 +170,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		backoff = w.poll()
+		atomic.StoreInt64(&w.backoffNanos, 0)
 		if lease == nil {
 			if !sleep(ctx, w.poll()) {
 				return ctx.Err()
@@ -157,7 +204,10 @@ func sleepJitter(ctx context.Context, d time.Duration) bool {
 
 // runShard executes one leased shard and reports it back.
 func (w *Worker) runShard(ctx context.Context, lease *jobs.ShardLease) {
-	w.logf("shard %d [%d,%d) of campaign %.12s", lease.Range.Index, lease.Range.Start, lease.Range.End, lease.Key)
+	atomic.AddInt64(&w.stats.ShardsExecuted, 1)
+	w.log().Info("shard leased", "shard", lease.Range.Index,
+		"start", lease.Range.Start, "end", lease.Range.End,
+		"campaign", lease.Key[:min(12, len(lease.Key))])
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -197,7 +247,7 @@ func (w *Worker) runShard(ctx context.Context, lease *jobs.ShardLease) {
 			}
 		}
 	}()
-	out, err := jobs.ExecuteShard(sctx, lease.Request, lease.Range.Start, lease.Range.End, w.Workers,
+	out, err := jobs.ExecuteShardObs(sctx, lease.Request, lease.Range.Start, lease.Range.End, w.Workers,
 		func(done, total, failures int) {
 			mu.Lock()
 			lastDone, lastFailures = done, failures
@@ -206,11 +256,11 @@ func (w *Worker) runShard(ctx context.Context, lease *jobs.ShardLease) {
 				return
 			}
 			report(done, failures)
-		})
+		}, w.Obs)
 	if out == nil {
 		// The engine never produced anything (runner build failure or the
 		// worker's own shutdown): release the lease for someone else.
-		w.logf("shard %d failed: %v", lease.Range.Index, err)
+		w.log().Warn("shard failed", "shard", lease.Range.Index, "error", err)
 		w.fail(ctx, lease.Lease, fmt.Sprintf("%v", err))
 		return
 	}
@@ -254,7 +304,7 @@ func (w *Worker) progress(lease string, done, failures int) (cancel bool) {
 	if err != nil {
 		// A transient network error is not a cancellation: keep computing
 		// and let the next report (or the TTL) sort it out.
-		w.logf("progress: %v", err)
+		w.log().Debug("progress report failed", "error", err)
 		return false
 	}
 	defer drain(resp)
@@ -285,7 +335,7 @@ const reportAttempts = 5
 func (w *Worker) complete(ctx context.Context, lease string, out *jobs.ShardOutput) {
 	body, err := json.Marshal(out)
 	if err != nil {
-		w.logf("complete: %v", err)
+		w.log().Error("encoding shard result failed", "error", err)
 		return
 	}
 	w.report(ctx, "complete", w.Coordinator+"/api/v1/shards/"+lease+"/complete", body,
@@ -318,26 +368,27 @@ func (w *Worker) report(ctx context.Context, kind, url string, body []byte, what
 			switch {
 			case code == http.StatusOK:
 				if attempt > 1 {
-					w.logf("%s: delivered on attempt %d", kind, attempt)
+					w.log().Info("report delivered after retries", "kind", kind, "attempt", attempt)
 				}
 				return
 			case code == http.StatusGone:
-				w.logf("%s: lease expired (work redone elsewhere); discarding", kind)
+				w.log().Info("lease expired, work redone elsewhere; discarding", "kind", kind)
 				return
 			case code >= 400 && code < 500:
-				w.logf("%s: HTTP %d (permanent); discarding %s", kind, code, what)
+				w.log().Warn("permanent report rejection; discarding", "kind", kind, "code", code, "what", what)
 				return
 			}
 			err = fmt.Errorf("HTTP %d", code)
 		}
 		if attempt >= reportAttempts || (ctx.Err() != nil && attempt >= 2) {
 			atomic.AddInt64(&w.stats.Dropped, 1)
-			w.logf("%s: %v after %d attempts; dropping %s (the lease TTL will requeue the shard)",
-				kind, err, attempt, what)
+			w.log().Warn("dropping report; the lease TTL will requeue the shard",
+				"kind", kind, "error", err, "attempts", attempt, "what", what)
 			return
 		}
 		atomic.AddInt64(&w.stats.ReportRetries, 1)
-		w.logf("%s: %v (attempt %d/%d, retrying in ~%v)", kind, err, attempt, reportAttempts, backoff)
+		w.log().Warn("report failed, retrying", "kind", kind, "error", err,
+			"attempt", attempt, "max_attempts", reportAttempts, "backoff", backoff)
 		if ctx.Err() != nil {
 			time.Sleep(200 * time.Millisecond) // shutting down: one quick retry
 		} else {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // The journal is an append-only NDJSON write-ahead log of job and shard
@@ -40,11 +41,45 @@ type Record struct {
 type Journal struct {
 	path string
 
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	seq  int64
-	torn bool // a torn/corrupt tail was truncated at open
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     int64
+	torn    bool  // a torn/corrupt tail was truncated at open
+	records int64 // live record count (replayed + appended - compacted)
+	size    int64 // bytes of valid records on disk
+	fsyncs  int64 // fsync calls issued (Sync/AppendSync/Rewrite/Close)
+	// lastCompaction is when the journal contents were last rewritten
+	// down to live state (stamped at open, since OpenManager compacts
+	// immediately after replay).
+	lastCompaction time.Time
+}
+
+// JournalStats is an observability snapshot of the journal's size and
+// durability activity.
+type JournalStats struct {
+	// Records is the number of live records (replay survivors plus
+	// appends since the last compaction).
+	Records int64
+	// SizeBytes is the byte length of the valid record prefix on disk.
+	SizeBytes int64
+	// Fsyncs counts fsync calls issued against the journal file.
+	Fsyncs int64
+	// LastCompaction is when Rewrite last folded the journal (or when it
+	// was opened, whichever is later).
+	LastCompaction time.Time
+}
+
+// Stats returns a consistent snapshot of the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Records:        j.records,
+		SizeBytes:      j.size,
+		Fsyncs:         j.fsyncs,
+		LastCompaction: j.lastCompaction,
+	}
 }
 
 // OpenJournal opens (creating if absent) the journal at path, replays
@@ -74,7 +109,10 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	j := &Journal{path: path, f: f, w: bufio.NewWriter(f), torn: torn}
+	j := &Journal{
+		path: path, f: f, w: bufio.NewWriter(f), torn: torn,
+		records: int64(len(recs)), size: valid, lastCompaction: time.Now(),
+	}
 	for _, r := range recs {
 		if r.Seq > j.seq {
 			j.seq = r.Seq
@@ -175,6 +213,8 @@ func (j *Journal) appendLocked(typ, key string, data interface{}) error {
 	if _, err := fmt.Fprintf(j.w, "%08x %s\n", crc32.ChecksumIEEE(payload), payload); err != nil {
 		return err
 	}
+	j.records++
+	j.size += int64(8 + 1 + len(payload) + 1)
 	// The bufio layer exists to batch the frame writes of one record;
 	// records must not linger in user-space buffers where even a clean
 	// process exit could lose them.
@@ -195,6 +235,7 @@ func (j *Journal) syncLocked() error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
+	j.fsyncs++
 	return j.f.Sync()
 }
 
@@ -216,7 +257,7 @@ func (j *Journal) Rewrite(recs []Record) error {
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriter(tmp)
-	var seq int64
+	var seq, size int64
 	for _, r := range recs {
 		seq++
 		r.Seq = seq
@@ -229,6 +270,7 @@ func (j *Journal) Rewrite(recs []Record) error {
 			tmp.Close()
 			return err
 		}
+		size += int64(8 + 1 + len(payload) + 1)
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
@@ -256,6 +298,10 @@ func (j *Journal) Rewrite(recs []Record) error {
 	j.f = f
 	j.w = bufio.NewWriter(f)
 	j.seq = seq
+	j.records = int64(len(recs))
+	j.size = size
+	j.fsyncs++ // the temp file's fsync above
+	j.lastCompaction = time.Now()
 	return nil
 }
 
@@ -267,6 +313,7 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	err := j.w.Flush()
+	j.fsyncs++
 	if serr := j.f.Sync(); err == nil {
 		err = serr
 	}
