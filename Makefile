@@ -7,12 +7,12 @@ GO ?= go
 # best-of-3 sampling and retry cooldowns cannot fully ride out. At 50%
 # the gate still catches every architectural regression it exists for —
 # losing the bit-parallel engine (-84% exp/s), checkpoint forking, or
-# pooling are all far outside it — while the committed BENCH_PR6.json
+# pooling are all far outside it — while the committed BENCH_PR9.json
 # stays the precise quiet-hardware record. Tighten to 0.15 when gating
 # on dedicated hardware: BENCH_TOLERANCE=0.15 make bench-check.
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke crash-smoke vet fmt-check staticcheck lint
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke crash-smoke hybrid-smoke vet fmt-check staticcheck lint
 
 all: build test
 
@@ -33,15 +33,17 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Full benchmark suite distilled to JSON (benchmark name -> ns/op plus
-# custom metrics). BENCH_PR6.json is the committed perf baseline (cut
-# with the bit-parallel campaign engine on); rerun this target on
-# comparable hardware to refresh it. BENCH_PR2.json stays committed as
-# the pre-batching historical record behind DESIGN.md's speedup tables.
+# custom metrics). BENCH_PR9.json is the committed perf baseline (cut
+# with the bit-parallel campaign engine on, and including the hybrid
+# router's ISS campaign engine); rerun this target on comparable
+# hardware to refresh it. BENCH_PR2.json (pre-batching) and
+# BENCH_PR6.json (pre-hybrid) stay committed as the historical records
+# behind DESIGN.md's speedup tables.
 # -count 3 folds throughput metrics best-of-3 (see cmd/benchjson): the
 # baseline records the machine's uncontended speed, and bench-check
 # measures with the same estimator.
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime 2s -count 3 -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -benchtime 2s -count 3 -out BENCH_PR9.json
 
 # CI variant: one iteration of every benchmark, JSON to stdout. Validates
 # the whole suite and the benchjson pipeline without committing numbers.
@@ -51,11 +53,14 @@ bench-json-smoke:
 # Benchmark-regression gate: measure the speed-critical benchmarks (the
 # engine throughput set: RTL cycles/s, ISS inst/s, campaign exp/s) and
 # fail if any throughput metric regresses more than BENCH_TOLERANCE
-# against the committed BENCH_PR6.json baseline — cut with the
+# against the committed BENCH_PR9.json baseline — cut with the
 # bit-parallel (PPSFP) engine on, so CampaignCheckpointed gates at the
 # batched throughput (~6x the BENCH_PR2 scalar engine) and a regression
 # that silently disabled batching would trip it immediately.
-# CampaignTransient is in the gate set too. Throughput is measured
+# CampaignTransient and CampaignHybrid are in the gate set too: the
+# hybrid benchmark gates the ISS campaign engine's exp/s (the hybrid
+# router's prediction pass) and logs the ISS-vs-RTL speedup ratio in
+# the JSON without gating it. Throughput is measured
 # best-of-3 (-count 3) to reject neighbour-load / frequency-throttle
 # noise on shared runners: interference only ever lowers a sample, so
 # the max of 3 is the cleanest estimate, while a real code regression
@@ -67,8 +72,8 @@ BENCH_ATTEMPTS ?= 3
 bench-check:
 	@i=1; while :; do \
 		if $(GO) run ./cmd/benchjson \
-			-bench '^Benchmark(RTLExecution|ISSExecution|CampaignCheckpointed|CampaignFromReset|CampaignTransient)$$' \
-			-benchtime 2s -count 3 -out - -baseline BENCH_PR6.json -max-regress $(BENCH_TOLERANCE); then \
+			-bench '^Benchmark(RTLExecution|ISSExecution|CampaignCheckpointed|CampaignFromReset|CampaignTransient|CampaignHybrid)$$' \
+			-benchtime 2s -count 3 -out - -baseline BENCH_PR9.json -max-regress $(BENCH_TOLERANCE); then \
 			exit 0; \
 		fi; \
 		if [ $$i -ge $(BENCH_ATTEMPTS) ]; then \
@@ -104,6 +109,14 @@ shard-smoke:
 # schedule with `go run ./cmd/crashsmoke -seed N` (the seed is logged).
 crash-smoke:
 	$(GO) run ./cmd/crashsmoke
+
+# Hermetic hybrid-router smoke: executes a real hybrid (ISS-predicted,
+# RTL-audited) campaign and audits the outcome's routing contract, then
+# proves through the built CLI that `-engine hybrid -rtl-audit 1.0` is
+# byte-identical to the pure-RTL campaign and that a 3-way sharded
+# hybrid run is byte-identical to the unsharded one.
+hybrid-smoke:
+	$(GO) run ./cmd/hybridsmoke
 
 vet:
 	$(GO) vet ./...

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/core"
 	"repro/internal/campaign"
@@ -260,6 +261,49 @@ func BenchmarkCampaignTransient(b *testing.B) {
 	}
 	b.ReportMetric(100*pf, "Pf-%")
 	b.ReportMetric(float64(len(exps))*float64(b.N)/b.Elapsed().Seconds(), "exp/s")
+}
+
+// BenchmarkCampaignHybrid times the hybrid router's prediction engine:
+// the ISS campaign pass that stands in for RTL re-simulation on trusted
+// node classes, pinned to the RTL golden run's timebase exactly as the
+// hybrid planner pins it. Its exp/s rides the bench-check gate — losing
+// ISS campaign throughput erases the hybrid's whole reason to exist.
+// The ISS-vs-RTL speedup over the identical experiment list is reported
+// alongside in a ratio unit, so the perf JSON records the routing
+// economics without the regression gate comparing a hardware ratio.
+func BenchmarkCampaignHybrid(b *testing.B) {
+	w, err := workloads.Build("rspeed", workloads.Config{Iterations: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rtlR, err := fault.NewRunner(w.Program, fault.Options{InjectAtFraction: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	issR, err := fault.NewISSRunner(w.Program, fault.Options{InjectAtFraction: 0.5},
+		rtlR.GoldenCycles, rtlR.InjectCycle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := fault.SampleNodes(rtlR.Nodes(fault.TargetIU), 48, 1)
+	exps := fault.Expand(nodes, rtl.StuckAt1)
+	rtlR.PrepareCheckpoint()
+	// One RTL pass outside the timed region: the denominator of the
+	// speedup ratio, and the batched engine the audits would run on.
+	rtlStart := time.Now()
+	rtlRes := rtlR.Campaign(exps, 0)
+	rtlPerExp := time.Since(rtlStart).Seconds() / float64(len(exps))
+	issR.Campaign(exps, 0) // warm the ISS checkpoint outside the timed region
+	var res []fault.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = issR.Campaign(exps, 0)
+	}
+	issPerExp := b.Elapsed().Seconds() / (float64(len(exps)) * float64(b.N))
+	b.ReportMetric(100*fault.Pf(res), "Pf-iss-%")
+	b.ReportMetric(100*fault.Pf(rtlRes), "Pf-rtl-%")
+	b.ReportMetric(1/issPerExp, "exp/s")
+	b.ReportMetric(rtlPerExp/issPerExp, "iss-vs-rtl-x")
 }
 
 // BenchmarkSingleInjection measures the cost of one fault experiment.

@@ -62,11 +62,14 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the campaign job service's canonical result JSON")
 		shards  = flag.Int("shards", 0, "split the campaign into this many experiment-range shards on in-process workers (0/1 = unsharded)")
 		epsilon = flag.Float64("epsilon", 0, "adaptive early stop once the Wilson 95% half-width around Pf reaches this (0 = run to completion)")
+		engine  = flag.String("engine", "rtl", "campaign engine: rtl, iss, or hybrid (ISS-predicted, RTL-audited)")
+		audit   = flag.Float64("rtl-audit", 0, "hybrid: RTL-audit fraction of ISS-trusted experiments (0 = default 0.1; 1.0 = pure RTL)")
+		conf    = flag.Float64("confidence", 0, "hybrid: per-class R² threshold below which the class re-runs on RTL (0 = default 0.9)")
 	)
 	flag.Var(aliasValue{model}, "models", "alias for -model (comma-separated fault model list)")
 	flag.Parse()
 
-	if *asJSON || *shards > 1 || *epsilon > 0 {
+	if *asJSON || *shards > 1 || *epsilon > 0 || *engine != "rtl" {
 		// The -iters flag defaults to 2 for the human-readable campaign,
 		// but an HTTP submission that omits "iterations" means 0
 		// (workload default). For byte-parity with the server, -json maps
@@ -94,6 +97,9 @@ func main() {
 			NoCheckpoint:     *noCkpt,
 			NoBatch:          *noBatch,
 			Epsilon:          *epsilon,
+			Engine:           *engine,
+			RTLAudit:         *audit,
+			Confidence:       *conf,
 		}
 		if *model != "all" {
 			// Unknown names are rejected by the request normalization
@@ -172,11 +178,11 @@ func main() {
 
 	fmt.Printf("workload:   %s, target %v, %d injections in %.1fs\n",
 		w.Name, spec.Target, res.Injections, time.Since(t0).Seconds())
-	engine := "from-reset re-simulation"
+	mode := "from-reset re-simulation"
 	if res.Checkpointed {
-		engine = "golden-run forking (warm-up prefix simulated once)"
+		mode = "golden-run forking (warm-up prefix simulated once)"
 	}
-	fmt.Printf("engine:     %s, golden run %d cycles\n", engine, res.GoldenCycles)
+	fmt.Printf("engine:     %s, golden run %d cycles\n", mode, res.GoldenCycles)
 	fmt.Printf("Pf:         %s of faults propagated to failures (95%% CI %s..%s, Wilson)\n",
 		report.Percent(res.Pf), report.Percent(res.PfLow), report.Percent(res.PfHigh))
 	if res.MaxLatencyCycles >= 0 {
@@ -254,7 +260,11 @@ func renderOutcome(out *jobs.Outcome, shards int, elapsed time.Duration) {
 	if out.Checkpointed {
 		engine = "golden-run forking (warm-up prefix simulated once)"
 	}
-	fmt.Printf("engine:     %s, golden run %d cycles\n", engine, out.GoldenCycles)
+	ticks := "cycles"
+	if out.Request.Engine == "iss" {
+		ticks = "instructions (ISS timebase)"
+	}
+	fmt.Printf("engine:     %s, golden run %d %s\n", engine, out.GoldenCycles, ticks)
 	if out.EarlyStopped {
 		fmt.Printf("adaptive:   converged after %d of %d experiments (epsilon %.3g, Wilson 95%%)\n",
 			out.Injections, out.Requested, out.Request.Epsilon)
@@ -263,6 +273,26 @@ func renderOutcome(out *jobs.Outcome, shards int, elapsed time.Duration) {
 		report.Percent(out.Pf), report.Percent(out.PfLow), report.Percent(out.PfHigh))
 	if out.MaxLatencyCycles >= 0 {
 		fmt.Printf("latency:    max detection latency %d cycles\n", out.MaxLatencyCycles)
+	}
+	if h := out.Hybrid; h != nil {
+		fmt.Printf("hybrid:     %d ISS-trusted + %d RTL (%d audited), %d audit disagreements (%s)\n",
+			h.ISSExperiments, h.RTLExperiments, h.Audited, h.Disagreements, report.Percent(h.DisagreementRate))
+		fmt.Printf("corrected:  Pf interval %s..%s after audit-error widening\n",
+			report.Percent(h.CorrectedPfLow), report.Percent(h.CorrectedPfHigh))
+		tab := &report.Table{
+			Title:   "hybrid routing by node class",
+			Columns: []string{"unit", "exps", "rtl", "audited", "R2", "routed", "pred Pf", "audit Pf"},
+		}
+		for _, c := range h.Classes {
+			routed := "trust"
+			if c.Escalated {
+				routed = "escalate"
+			}
+			tab.AddRow(c.Unit, c.Experiments, c.RTLExperiments, c.Audited,
+				fmt.Sprintf("%.3f", c.R2), routed,
+				report.Percent(c.PredictedPf), report.Percent(c.AuditedPf))
+		}
+		fmt.Print(tab.String())
 	}
 	// Sort outcome and unit names in their enum order, exactly like the
 	// raw-results path above: adding -shards or -epsilon must not reorder

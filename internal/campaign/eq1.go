@@ -30,12 +30,33 @@ type Eq1Point struct {
 // the workflow a verification team would run once per core generation and
 // reuse at the ISS level thereafter.
 type Eq1Result struct {
-	A, B   float64 // fitted per-unit model
-	FitR2  float64
-	Points []Eq1Point
+	// A and B are the means of the fitted per-unit slopes and intercepts
+	// (the headline Pmf = A*ln(Dm)+B model).
+	A, B  float64
+	FitR2 float64
+	// UnitFits holds the individual per-unit models the prediction uses.
+	UnitFits map[sparc.Unit]UnitFit
+	Points   []Eq1Point
 	// PredCorr is the Pearson correlation between predicted and measured
 	// benchmark Pf.
 	PredCorr float64
+}
+
+// UnitFit is one functional unit's fitted Equation (1) model
+// Pmf = A*ln(Dm) + B with its goodness of fit.
+type UnitFit struct {
+	A, B, R2 float64
+}
+
+// FitUnit fits one unit's log model over (diversity, Pmf) calibration
+// points: the per-class fit Eq1 aggregates and the hybrid router's
+// confidence machinery builds on.
+func FitUnit(divs, pmfs []float64) (UnitFit, error) {
+	a, b, r2, err := stats.LogFit(divs, pmfs)
+	if err != nil {
+		return UnitFit{}, err
+	}
+	return UnitFit{A: a, B: b, R2: r2}, nil
 }
 
 // Eq1 runs the calibration-and-predict experiment over the Table-1
@@ -90,14 +111,10 @@ func Eq1(o Options) (*Eq1Result, error) {
 	// the paper's "Dm has to be related with the failure probabilities
 	// for the different processor functional units". Pooling units would
 	// conflate their different base utilizations.
-	type unitFit struct {
-		a, b float64
-		ok   bool
-	}
-	fits := map[sparc.Unit]unitFit{}
+	fits := map[sparc.Unit]UnitFit{}
 	var r2sum float64
 	var r2n int
-	var aAvg float64
+	var aAvg, bAvg float64
 	for u := sparc.Unit(0); u < sparc.NumUnits; u++ {
 		var xs, ys []float64
 		for _, b := range all {
@@ -108,29 +125,35 @@ func Eq1(o Options) (*Eq1Result, error) {
 				}
 			}
 		}
-		a, bcoef, r2, err := stats.LogFit(xs, ys)
+		f, err := FitUnit(xs, ys)
 		if err != nil {
 			continue
 		}
-		fits[u] = unitFit{a: a, b: bcoef, ok: true}
-		r2sum += r2
+		fits[u] = f
+		r2sum += f.R2
 		r2n++
-		aAvg += a
+		aAvg += f.A
+		bAvg += f.B
 	}
 	if r2n == 0 {
 		return nil, fmt.Errorf("campaign: no unit admitted a fit")
 	}
 
-	out := &Eq1Result{A: aAvg / float64(r2n), B: 0, FitR2: r2sum / float64(r2n)}
+	out := &Eq1Result{
+		A:        aAvg / float64(r2n),
+		B:        bAvg / float64(r2n),
+		FitR2:    r2sum / float64(r2n),
+		UnitFits: fits,
+	}
 	var preds, meas []float64
 	for _, b := range all {
 		pred := 0.0
 		for u, w := range weights {
-			f := fits[u]
-			if !f.ok || b.unitDivs[u] <= 0 {
+			f, ok := fits[u]
+			if !ok || b.unitDivs[u] <= 0 {
 				continue
 			}
-			p := f.a*logOf(float64(b.unitDivs[u])) + f.b
+			p := f.A*logOf(float64(b.unitDivs[u])) + f.B
 			if p < 0 {
 				p = 0
 			}
@@ -169,6 +192,6 @@ func (e *Eq1Result) Render() string {
 		tab.AddRow(p.Benchmark, p.Diversity, report.Percent(p.MeasuredPf), report.Percent(p.PredictedPf))
 	}
 	return tab.String() + fmt.Sprintf(
-		"per-unit fits: mean slope %.4f, mean R^2 = %.3f; predicted-vs-measured r = %.3f\n",
-		e.A, e.FitR2, e.PredCorr)
+		"per-unit fits: mean slope %.4f, mean intercept %.4f, mean R^2 = %.3f; predicted-vs-measured r = %.3f\n",
+		e.A, e.B, e.FitR2, e.PredCorr)
 }

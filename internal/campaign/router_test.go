@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+)
+
+// Known-value regression test for the per-class fit: points generated
+// exactly on Pmf = 0.1*ln(D) + 0.05 must recover slope, intercept and a
+// perfect R². The intercept assertion pins the eq1.go fix — B used to
+// be hardcoded to zero.
+func TestFitUnitKnownValues(t *testing.T) {
+	divs := []float64{math.E, math.E * math.E, math.Exp(3), math.Exp(4)}
+	pmfs := make([]float64, len(divs))
+	for i, d := range divs {
+		pmfs[i] = 0.1*math.Log(d) + 0.05
+	}
+	f, err := FitUnit(divs, pmfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-0.1) > 1e-9 {
+		t.Errorf("slope = %v, want 0.1", f.A)
+	}
+	if math.Abs(f.B-0.05) > 1e-9 {
+		t.Errorf("intercept = %v, want 0.05 (B must not be dropped)", f.B)
+	}
+	if math.Abs(f.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestFitUnitNoisyIntercept(t *testing.T) {
+	// y = 0.2*ln(x) + 0.3 with alternating ±0.01 noise: the intercept
+	// must land near 0.3, not at zero.
+	divs := []float64{2, 4, 8, 16, 32, 64}
+	pmfs := make([]float64, len(divs))
+	for i, d := range divs {
+		noise := 0.01
+		if i%2 == 1 {
+			noise = -0.01
+		}
+		pmfs[i] = 0.2*math.Log(d) + 0.3 + noise
+	}
+	f, err := FitUnit(divs, pmfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.B-0.3) > 0.05 {
+		t.Errorf("intercept = %v, want ~0.3", f.B)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", f.R2)
+	}
+}
+
+func TestIndicatorR2(t *testing.T) {
+	cases := []struct {
+		name       string
+		pred, meas []bool
+		want       float64
+	}{
+		{"perfect agreement", []bool{true, false, true, false}, []bool{true, false, true, false}, 1},
+		{"perfect anticorrelation", []bool{true, false, true, false}, []bool{false, true, false, true}, 1},
+		{"no information", []bool{true, true, false, false}, []bool{true, false, true, false}, 0},
+		{"constant agreeing", []bool{true, true, true}, []bool{true, true, true}, 1},
+		{"constant disagreeing once", []bool{false, false, false}, []bool{false, true, false}, 0},
+		{"constant predictor varying measurement", []bool{true, true, true, true}, []bool{true, false, true, true}, 0},
+		{"empty", nil, nil, 0},
+		{"length mismatch", []bool{true}, []bool{true, false}, 0},
+		{"single agreeing pair", []bool{true}, []bool{true}, 1},
+	}
+	for _, c := range cases {
+		if got := IndicatorR2(c.pred, c.meas); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: IndicatorR2 = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Three-of-four agreement: R² equals the squared Pearson correlation
+	// of the indicators, strictly between 0 and 1.
+	r2 := IndicatorR2([]bool{true, true, false, false}, []bool{true, false, false, false})
+	if r2 <= 0 || r2 >= 1 {
+		t.Errorf("partial agreement R2 = %v, want in (0,1)", r2)
+	}
+}

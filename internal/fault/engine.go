@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"context"
+
+	"repro/internal/iss"
+	"repro/internal/leon3"
+	"repro/internal/mem"
+	"repro/internal/sparc"
+)
+
+// CampaignEngine is the execution contract every campaign-capable
+// simulation backend satisfies: golden-run construction happens in the
+// backend's constructor, and the interface exposes what campaign
+// orchestration (the jobs layer, the shard coordinator, the hybrid
+// router) needs afterwards — node enumeration, deterministic transient
+// scheduling, the golden run's length in the backend's own timebase,
+// whether experiments fork from a snapshot, and the parallel campaign
+// loop with tap/stop hooks.
+//
+// Timebase: every tick-valued quantity (GoldenTicks, Result.Cycles,
+// Result.InjectAt, Result.Latency, Experiment.AtCycle) is in the
+// engine's native unit — clock cycles for the RTL slab kernel,
+// executed instructions for the ISS. The hybrid router pins both
+// engines to the RTL cycle timebase (see NewISSRunner's cycleRef) so a
+// single experiment list with RTL-cycle instants drives either side.
+type CampaignEngine interface {
+	// Nodes enumerates the injectable nodes of a target, annotated with
+	// their functional units. Node identity is a property of the RTL
+	// design, not of any particular engine, so every engine enumerates
+	// the identical list in the identical order.
+	Nodes(target Target) []NodeInfo
+	// ScheduleTransients assigns every transient-model experiment its
+	// injection instant, keyed by (seed, absolute index) alone — the
+	// determinism rule of sharded campaigns.
+	ScheduleTransients(exps []Experiment, seed int64)
+	// GoldenTicks is the clean run's length in the engine's timebase.
+	GoldenTicks() uint64
+	// Checkpointed reports whether experiments fork from a golden-run
+	// snapshot at the fixed injection instant.
+	Checkpointed() bool
+	// RunOne executes a single injection experiment.
+	RunOne(e Experiment) Result
+	// CampaignStopContext runs the experiments across workers with
+	// per-completion taps and an optional sequential stop rule; see
+	// Runner.CampaignStopContext for the full contract.
+	CampaignStopContext(ctx context.Context, exps []Experiment, workers int,
+		tap func(i int, res Result), stop func(done, failures int) bool) ([]Result, []bool, error)
+}
+
+// Both campaign backends satisfy the engine contract.
+var (
+	_ CampaignEngine = (*Runner)(nil)
+	_ CampaignEngine = (*ISSRunner)(nil)
+)
+
+// GoldenTicks returns the golden run length in the RTL engine's
+// timebase (clock cycles).
+func (r *Runner) GoldenTicks() uint64 { return r.GoldenCycles }
+
+// InjectCycle returns the resolved fixed injection instant in cycles
+// (InjectAtFraction already applied). The hybrid router reads it to pin
+// the ISS engine to the same instant on the RTL cycle timebase.
+func (r *Runner) InjectCycle() uint64 { return r.opts.InjectAtCycle }
+
+// enumerateNodes builds the annotated injectable-node list of a target
+// from a throwaway core. Node identity comes from the RTL design alone,
+// so the ISS engine enumerates through the same kernel and yields the
+// byte-identical list the RTL engine does.
+func enumerateNodes(entry uint32, target Target) []NodeInfo {
+	core := leon3.New(mem.NewBus(mem.NewMemory()), entry)
+	nodes := core.K.Nodes(target.Prefix())
+	out := make([]NodeInfo, len(nodes))
+	for j, n := range nodes {
+		out[j] = NodeInfo{Node: n, Unit: sparc.Unit(core.K.UnitOf(n.Name))}
+	}
+	return out
+}
+
+// watchTrace hooks the early-exit golden comparator onto a bus. tick
+// reports the engine's current time (cycles for RTL, instructions for
+// the ISS) and timestamps the first mismatch. start is the index of the
+// next expected golden write: 0 for a from-reset run, the checkpoint's
+// write count for a forked run (the golden prefix is identical by
+// construction).
+func watchTrace(golden *mem.Trace, bus *mem.Bus, tick func() uint64, start int) *comparator {
+	c := &comparator{mismatchAt: -1, idx: start}
+	bus.OnWrite = func(a mem.Access) {
+		if c.mismatchAt >= 0 {
+			return
+		}
+		g := golden.Writes
+		if c.idx >= len(g) || a.Write != g[c.idx].Write || a.Addr != g[c.idx].Addr ||
+			a.Size != g[c.idx].Size || a.Data != g[c.idx].Data {
+			c.mismatchAt = int64(tick())
+		}
+		c.idx++
+	}
+	return c
+}
+
+// classifyRun maps a finished faulted run onto outcome and latency —
+// the classification rules both engines share. status and ticks are the
+// run's terminal status and length in the engine's timebase; injectAt
+// is the instant the fault was armed, in the same timebase (latencies
+// are relative to it).
+func classifyRun(res *Result, golden *mem.Trace, status iss.Status, ticks uint64,
+	bus *mem.Bus, c *comparator, injectAt uint64) {
+	res.Cycles = ticks
+	switch {
+	case c.mismatchAt >= 0:
+		res.Outcome = OutcomeMismatch
+		res.Latency = c.mismatchAt - int64(injectAt)
+	case status == iss.StatusErrorMode:
+		// Detected when off-core activity ceases: at the halt point.
+		res.Outcome = OutcomeErrorMode
+		res.Latency = int64(ticks) - int64(injectAt)
+	case status == iss.StatusRunning || status == iss.StatusBudget:
+		res.Outcome = OutcomeHang
+	case c.idx != len(golden.Writes) || bus.ExitCode() != golden.ExitCode:
+		// Detected at program end, when the write count disagrees.
+		res.Outcome = OutcomeTruncated
+		res.Latency = int64(ticks) - int64(injectAt)
+	default:
+		res.Outcome = OutcomeNoEffect
+	}
+}
+
+// auditSalt keys the RTL-audit Bernoulli draw apart from the transient
+// instant sampler that shares splitmix64. Like the scrambler itself it
+// must never change: sharded hybrid campaigns rely on every process
+// selecting the identical audit set.
+const auditSalt = 0xa5d17bd790c43f21
+
+// AuditSample reports whether experiment i belongs to a hybrid
+// campaign's deterministic RTL-audit sample: a Bernoulli(fraction) draw
+// keyed by (seed, absolute index) alone, so any contiguous shard of the
+// experiment list audits exactly the experiments the unsharded campaign
+// would. fraction >= 1 audits everything; <= 0 audits nothing.
+func AuditSample(seed int64, i int, fraction float64) bool {
+	if fraction >= 1 {
+		return true
+	}
+	if fraction <= 0 {
+		return false
+	}
+	h := splitmix64(splitmix64(uint64(seed)^auditSalt) + uint64(i))
+	// 53 uniform bits → [0,1) with full float64 precision.
+	return float64(h>>11)/(1<<53) < fraction
+}

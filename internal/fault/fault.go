@@ -262,13 +262,7 @@ func (r *Runner) Nodes(target Target) []NodeInfo {
 		i = 1
 	}
 	r.nodesOnce[i].Do(func() {
-		core := leon3.New(mem.NewBus(mem.NewMemory()), r.prog.Entry)
-		nodes := core.K.Nodes(target.Prefix())
-		out := make([]NodeInfo, len(nodes))
-		for j, n := range nodes {
-			out[j] = NodeInfo{Node: n, Unit: sparc.Unit(core.K.UnitOf(n.Name))}
-		}
-		r.nodesVal[i] = out
+		r.nodesVal[i] = enumerateNodes(r.prog.Entry, target)
 	})
 	return r.nodesVal[i]
 }
@@ -367,19 +361,7 @@ type comparator struct {
 // expected golden write: 0 for a from-reset run, the checkpoint's write
 // count for a forked run (the golden prefix is identical by construction).
 func (r *Runner) watch(bus *mem.Bus, core *leon3.Core, start int) *comparator {
-	c := &comparator{mismatchAt: -1, idx: start}
-	bus.OnWrite = func(a mem.Access) {
-		if c.mismatchAt >= 0 {
-			return
-		}
-		g := r.golden.Writes
-		if c.idx >= len(g) || a.Write != g[c.idx].Write || a.Addr != g[c.idx].Addr ||
-			a.Size != g[c.idx].Size || a.Data != g[c.idx].Data {
-			c.mismatchAt = int64(core.Cycles())
-		}
-		c.idx++
-	}
-	return c
+	return watchTrace(&r.golden, bus, core.Cycles, start)
 }
 
 // runFaulted advances a core with an armed fault until exit, error mode,
@@ -395,24 +377,7 @@ func (r *Runner) runFaulted(core *leon3.Core, c *comparator) {
 // injectAt is the instant the fault was armed (latencies are relative to
 // it).
 func (r *Runner) classify(res *Result, core *leon3.Core, bus *mem.Bus, c *comparator, injectAt uint64) {
-	res.Cycles = core.Cycles()
-	switch {
-	case c.mismatchAt >= 0:
-		res.Outcome = OutcomeMismatch
-		res.Latency = c.mismatchAt - int64(injectAt)
-	case core.Status() == iss.StatusErrorMode:
-		// Detected when off-core activity ceases: at the halt point.
-		res.Outcome = OutcomeErrorMode
-		res.Latency = int64(res.Cycles) - int64(injectAt)
-	case core.Status() == iss.StatusRunning || core.Status() == iss.StatusBudget:
-		res.Outcome = OutcomeHang
-	case c.idx != len(r.golden.Writes) || bus.ExitCode() != r.golden.ExitCode:
-		// Detected at program end, when the write count disagrees.
-		res.Outcome = OutcomeTruncated
-		res.Latency = int64(res.Cycles) - int64(injectAt)
-	default:
-		res.Outcome = OutcomeNoEffect
-	}
+	classifyRun(res, &r.golden, core.Status(), core.Cycles(), bus, c, injectAt)
 }
 
 // engine is a pooled per-worker execution context: one reusable RTL core

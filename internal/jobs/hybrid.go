@@ -1,0 +1,535 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// This file implements the hybrid ISS-predicted, RTL-audited campaign
+// router — the production form of the paper's thesis that a cheap ISS
+// predicts RTL failure probability well enough to stand in for it. The
+// router runs the full experiment list on the ISS engine, re-runs a
+// deterministic Bernoulli(rtl_audit) sample on RTL, scores each node
+// class (functional unit) by the R² of its audited
+// predicted-vs-measured failure indicators, and escalates every class
+// below the confidence threshold to full RTL re-execution. ISS-trusted
+// experiments keep their predicted classification; audited and
+// escalated ones carry RTL truth plus the prediction they replaced, so
+// every aggregate the router reports is recomputable from the
+// experiments array alone — the single-merge-path property that keeps
+// sharded hybrid campaigns byte-identical to unsharded ones.
+//
+// Sharding: the routing plan (ISS pass, audit sample, escalation set)
+// is a pure function of the normalized request, so every shard — and
+// every remote worker process — computes the identical plan and each
+// experiment's final engine is a pure function of (request, absolute
+// index). In-process the plan is memoized; a remote worker pays the
+// plan once per process. The audit sample spans the whole campaign, so
+// a worker executing one shard still audits out-of-range experiments —
+// bounded duplicated work (rtl_audit of the campaign per worker
+// process), the price of keeping shard outputs order- and
+// partition-independent.
+
+// minClassAudits is the smallest audit sample a node class may be
+// judged on; with fewer audited experiments the class escalates to RTL
+// outright — an unjudged prediction is never trusted.
+const minClassAudits = 2
+
+// escalateClass is the router's per-class verdict: escalate to full RTL
+// re-execution when the audit sample is too small to judge, or when the
+// R² of its predicted-vs-measured failure indicators falls below the
+// confidence threshold. Both the planner and the outcome accounting go
+// through this one function, so the reported Escalated flags are always
+// the decisions the router actually made.
+func escalateClass(pred, meas []bool, confidence float64) bool {
+	return len(pred) < minClassAudits || campaign.IndicatorR2(pred, meas) < confidence
+}
+
+// issRunnerFor resolves the memoized ISS campaign runner for a
+// normalized request, with the same detached-build cancellation
+// behaviour as runnerFor. cycleRef/fixedCycle pin the engine to the RTL
+// cycle timebase (hybrid); both zero select the native instruction
+// timebase (engine "iss").
+func issRunnerFor(ctx context.Context, n Request, reg *obs.Registry, cycleRef, fixedCycle uint64) (*fault.ISSRunner, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type built struct {
+		r   *fault.ISSRunner
+		err error
+	}
+	ch := make(chan built, 1)
+	go func() {
+		r, err := campaign.ISSRunnerFor(n.Workload,
+			workloads.Config{Iterations: n.Iterations, Dataset: n.Dataset},
+			fault.Options{
+				InjectAtCycle:    n.InjectAtCycle,
+				InjectAtFraction: n.InjectAtFraction,
+				PulseCycles:      n.PulseCycles,
+				NoCheckpoint:     n.NoCheckpoint,
+				Obs:              reg,
+			}, cycleRef, fixedCycle)
+		ch <- built{r, err}
+	}()
+	select {
+	case b := <-ch:
+		return b.r, b.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// routerMetrics counts the hybrid router's decisions. Registries dedupe
+// by name, so constructing the set per plan build is cheap and safe.
+type routerMetrics struct {
+	experiments   *obs.CounterVec
+	decisions     *obs.CounterVec
+	disagreements *obs.Counter
+	escalated     *obs.Counter
+}
+
+func newRouterMetrics(r *obs.Registry) routerMetrics {
+	return routerMetrics{
+		experiments: r.CounterVec("router_experiments_total",
+			"Hybrid-campaign experiment executions by engine (audits and escalations count as rtl).", "engine"),
+		decisions: r.CounterVec("router_decisions_total",
+			"Hybrid-router routing decisions per experiment (trust, audit, escalate).", "decision"),
+		disagreements: r.Counter("router_audit_disagreements_total",
+			"Audited hybrid experiments whose ISS-predicted failure indicator disagreed with RTL."),
+		escalated: r.Counter("router_classes_escalated_total",
+			"Node classes escalated to full RTL re-execution by the confidence rule."),
+	}
+}
+
+// hybridPlan is the routing plan of one hybrid campaign: the shared RTL
+// runner, the deterministic expansion, the full ISS prediction pass,
+// the audit sample with its RTL results, and the escalation set. It is
+// a pure function of the normalized request.
+type hybridPlan struct {
+	rtl       *fault.Runner
+	exps      []fault.Experiment
+	units     []string
+	pred      []fault.Result
+	audited   []bool
+	auditRes  map[int]fault.Result
+	escalated map[string]bool
+}
+
+// planCache memoizes hybrid plans per content address so the in-process
+// shard pool pays the ISS pass and audit set once per campaign, not
+// once per shard. Failed builds (including cancellations) are evicted
+// so a later submission retries cleanly.
+var planCache struct {
+	mu    sync.Mutex
+	m     map[string]*planEntry
+	order []string
+}
+
+const maxPlans = 8
+
+type planEntry struct {
+	done chan struct{}
+	plan *hybridPlan
+	err  error
+}
+
+func hybridPlanFor(ctx context.Context, n Request, workers int, reg *obs.Registry) (*hybridPlan, error) {
+	key, err := keyOf(n)
+	if err != nil {
+		return nil, err
+	}
+	planCache.mu.Lock()
+	if planCache.m == nil {
+		planCache.m = make(map[string]*planEntry)
+	}
+	e := planCache.m[key]
+	owner := e == nil
+	if owner {
+		for len(planCache.m) >= maxPlans {
+			delete(planCache.m, planCache.order[0])
+			planCache.order = planCache.order[1:]
+		}
+		e = &planEntry{done: make(chan struct{})}
+		planCache.m[key] = e
+		planCache.order = append(planCache.order, key)
+	}
+	planCache.mu.Unlock()
+	if owner {
+		e.plan, e.err = buildHybridPlan(ctx, n, workers, reg)
+		if e.err != nil {
+			planCache.mu.Lock()
+			delete(planCache.m, key)
+			for i, k := range planCache.order {
+				if k == key {
+					planCache.order = append(planCache.order[:i], planCache.order[i+1:]...)
+					break
+				}
+			}
+			planCache.mu.Unlock()
+		}
+		close(e.done)
+		return e.plan, e.err
+	}
+	select {
+	case <-e.done:
+		return e.plan, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// buildHybridPlan executes the routing plan's two phases: the full ISS
+// prediction pass and the RTL audit pass, then scores every node class.
+func buildHybridPlan(ctx context.Context, n Request, workers int, reg *obs.Registry) (*hybridPlan, error) {
+	rtlR, err := runnerFor(ctx, n, reg)
+	if err != nil {
+		return nil, err
+	}
+	exps := experimentsFor(rtlR, n)
+	// Pin the ISS engine to the RTL cycle timebase so one experiment
+	// list — instants in RTL cycles — drives both engines.
+	issR, err := issRunnerFor(ctx, n, reg, rtlR.GoldenCycles, rtlR.InjectCycle())
+	if err != nil {
+		return nil, err
+	}
+	met := newRouterMetrics(reg)
+	pred, _, err := issR.CampaignStopContext(ctx, exps, workers, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	met.experiments.With("iss").Add(float64(len(exps)))
+
+	units := make([]string, len(exps))
+	for i := range exps {
+		units[i] = exps[i].Node.Unit.String()
+	}
+	audited := make([]bool, len(exps))
+	var auditIdx []int
+	for i := range exps {
+		if fault.AuditSample(n.Seed, i, n.RTLAudit) {
+			audited[i] = true
+			auditIdx = append(auditIdx, i)
+		}
+	}
+	auditExps := make([]fault.Experiment, len(auditIdx))
+	for j, i := range auditIdx {
+		auditExps[j] = exps[i]
+	}
+	auditRes0, _, err := rtlR.CampaignStopContext(ctx, auditExps, workers, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	met.experiments.With("rtl").Add(float64(len(auditIdx)))
+
+	type pairs struct{ pred, meas []bool }
+	byClass := map[string]*pairs{}
+	auditRes := make(map[int]fault.Result, len(auditIdx))
+	disag := 0
+	for j, i := range auditIdx {
+		auditRes[i] = auditRes0[j]
+		p := pred[i].Outcome.IsFailure()
+		m := auditRes0[j].Outcome.IsFailure()
+		if p != m {
+			disag++
+		}
+		c := byClass[units[i]]
+		if c == nil {
+			c = &pairs{}
+			byClass[units[i]] = c
+		}
+		c.pred = append(c.pred, p)
+		c.meas = append(c.meas, m)
+	}
+	met.disagreements.Add(float64(disag))
+
+	escalated := map[string]bool{}
+	seen := map[string]bool{}
+	for _, u := range units {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		var p, m []bool
+		if c := byClass[u]; c != nil {
+			p, m = c.pred, c.meas
+		}
+		if escalateClass(p, m, n.Confidence) {
+			escalated[u] = true
+			met.escalated.Inc()
+		}
+	}
+	for i := range exps {
+		switch {
+		case audited[i]:
+			met.decisions.With("audit").Inc()
+		case escalated[units[i]]:
+			met.decisions.With("escalate").Inc()
+		default:
+			met.decisions.With("trust").Inc()
+		}
+	}
+	return &hybridPlan{
+		rtl:       rtlR,
+		exps:      exps,
+		units:     units,
+		pred:      pred,
+		audited:   audited,
+		auditRes:  auditRes,
+		escalated: escalated,
+	}, nil
+}
+
+// hybridOutcomes finalizes experiments [start,end) of a planned hybrid
+// campaign: escalated-class experiments that were not already audited
+// are re-run on RTL here (the only per-range engine work — predictions
+// and audits live in the plan), and every index is assembled into its
+// wire outcome. tap observes range-local completions against the range
+// size; escalations report live, plan-resolved entries are counted as
+// they are assembled.
+func hybridOutcomes(ctx context.Context, plan *hybridPlan, n Request, start, end, workers int, tap Tap, reg *obs.Registry) ([]ExperimentOutcome, error) {
+	total := end - start
+	var mu sync.Mutex
+	done, failures := 0, 0
+	if tap != nil {
+		tap(0, total, 0)
+	}
+	count := func(res fault.Result) {
+		if tap == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		if res.Outcome.IsFailure() {
+			failures++
+		}
+		tap(done, total, failures)
+		mu.Unlock()
+	}
+
+	var escIdx []int
+	for i := start; i < end; i++ {
+		if !plan.audited[i] && plan.escalated[plan.units[i]] {
+			escIdx = append(escIdx, i)
+		}
+	}
+	escExps := make([]fault.Experiment, len(escIdx))
+	for j, i := range escIdx {
+		escExps[j] = plan.exps[i]
+	}
+	escRes0, _, err := plan.rtl.CampaignStopContext(ctx, escExps, workers, func(j int, res fault.Result) {
+		count(res)
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	newRouterMetrics(reg).experiments.With("rtl").Add(float64(len(escIdx)))
+	escRes := make(map[int]fault.Result, len(escIdx))
+	for j, i := range escIdx {
+		escRes[i] = escRes0[j]
+	}
+
+	outs := make([]ExperimentOutcome, 0, total)
+	for i := start; i < end; i++ {
+		var eo ExperimentOutcome
+		switch {
+		case plan.audited[i]:
+			eo = experimentOutcome(plan.auditRes[i])
+			eo.Engine, eo.Audited = "rtl", true
+			eo.Predicted = plan.pred[i].Outcome.String()
+			count(plan.auditRes[i])
+		case plan.escalated[plan.units[i]]:
+			eo = experimentOutcome(escRes[i])
+			eo.Engine = "rtl"
+			eo.Predicted = plan.pred[i].Outcome.String()
+			// counted live above
+		default:
+			eo = experimentOutcome(plan.pred[i])
+			eo.Engine = "iss"
+			count(plan.pred[i])
+		}
+		outs = append(outs, eo)
+	}
+	return outs, nil
+}
+
+// executeHybrid is ExecuteObs's hybrid path: plan, finalize the full
+// range, assemble. Golden-run metadata is the RTL engine's — the hybrid
+// campaign's experiments are defined on the RTL cycle timebase.
+func executeHybrid(ctx context.Context, n Request, workers int, tap Tap, reg *obs.Registry) (*Outcome, error) {
+	tr := obs.TracerFrom(ctx)
+	endPlan := tr.Stage("golden")
+	plan, err := hybridPlanFor(ctx, n, workers, reg)
+	endPlan()
+	if err != nil {
+		return nil, err
+	}
+	endExec := tr.Stage("execute")
+	outs, err := hybridOutcomes(ctx, plan, n, 0, len(plan.exps), workers, tap, reg)
+	endExec()
+	if err != nil {
+		return nil, err
+	}
+	endAsm := tr.Stage("assemble")
+	defer endAsm()
+	return assembleOutcome(n, plan.rtl.GoldenCycles, plan.rtl.Checkpointed(), len(plan.exps), outs), nil
+}
+
+// hybridShard is ExecuteShardObs's hybrid path. Unlike the single-engine
+// shard path it reports no partial output on cancellation — a hybrid
+// shard is final only when its whole range is resolved — so the
+// coordinator requeues the full range.
+func hybridShard(ctx context.Context, n Request, start, end, workers int, tap Tap, reg *obs.Registry) (*ShardOutput, error) {
+	plan, err := hybridPlanFor(ctx, n, workers, reg)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 || end > len(plan.exps) || start > end {
+		return nil, fmt.Errorf("jobs: shard range [%d,%d) outside campaign of %d experiments", start, end, len(plan.exps))
+	}
+	outs, err := hybridOutcomes(ctx, plan, n, start, end, workers, tap, reg)
+	if err != nil {
+		return nil, err
+	}
+	so := &ShardOutput{GoldenCycles: plan.rtl.GoldenCycles, Checkpointed: plan.rtl.Checkpointed()}
+	for j, eo := range outs {
+		so.Indices = append(so.Indices, start+j)
+		so.Experiments = append(so.Experiments, eo)
+	}
+	return so, nil
+}
+
+// HybridClass is one node class (functional unit) of a hybrid
+// campaign's audit accounting, in first-appearance order of the
+// experiments array.
+type HybridClass struct {
+	Unit        string `json:"unit"`
+	Experiments int    `json:"experiments"`
+	// RTLExperiments counts the class's experiments whose final
+	// classification came from RTL (audits plus escalations).
+	RTLExperiments int `json:"rtl_experiments"`
+	Audited        int `json:"audited"`
+	Disagreements  int `json:"disagreements"`
+	// R2 is the class's routing confidence: IndicatorR2 over its audited
+	// predicted-vs-measured failure indicator pairs.
+	R2 float64 `json:"r2"`
+	// Escalated reports the router's verdict, recomputed from the
+	// experiments array by the same rule the router applied: too few
+	// audits, or R² below the request's confidence threshold.
+	Escalated bool `json:"escalated"`
+	// PredictedPf is the ISS-predicted failure fraction over the whole
+	// class; AuditedPf is the RTL-measured fraction over its audits.
+	PredictedPf float64 `json:"predicted_pf"`
+	AuditedPf   float64 `json:"audited_pf"`
+}
+
+// HybridOutcome is the router's audit-disagreement accounting. Every
+// field is a pure function of the request and the experiments array —
+// assembleOutcome recomputes it after any shard merge, so hybrid
+// campaigns keep the byte-identity-under-sharding property.
+type HybridOutcome struct {
+	// ISSExperiments and RTLExperiments partition the campaign by the
+	// engine that produced each final classification.
+	ISSExperiments int `json:"iss_experiments"`
+	RTLExperiments int `json:"rtl_experiments"`
+	Audited        int `json:"audited"`
+	// Disagreements counts audited experiments whose predicted and
+	// measured failure indicators differ; DisagreementRate is their
+	// fraction of the audit sample.
+	Disagreements    int           `json:"disagreements"`
+	DisagreementRate float64       `json:"disagreement_rate"`
+	Classes          []HybridClass `json:"classes"`
+	// CorrectedPfLow/High widen the campaign's Wilson interval by the
+	// audit-measured prediction-error bound: the Wilson upper bound of
+	// the disagreement rate, scaled by the unaudited ISS-trusted
+	// fraction of the campaign. Within the audit's own confidence, the
+	// true (all-RTL) Pf lies inside this interval even if every
+	// unaudited ISS verdict is wrong in the same direction.
+	CorrectedPfLow  float64 `json:"corrected_pf_low"`
+	CorrectedPfHigh float64 `json:"corrected_pf_high"`
+}
+
+// hybridAccounting recomputes the router's accounting from the merged
+// experiments array alone (plus the request's thresholds).
+func hybridAccounting(req Request, out *Outcome) *HybridOutcome {
+	h := &HybridOutcome{}
+	type cls struct {
+		n, rtl, audited, disag int
+		predFail, measFail     int
+		pred, meas             []bool
+	}
+	classes := map[string]*cls{}
+	var order []string
+	for _, e := range out.Experiments {
+		c := classes[e.Unit]
+		if c == nil {
+			c = &cls{}
+			classes[e.Unit] = c
+			order = append(order, e.Unit)
+		}
+		c.n++
+		predStr := e.Predicted
+		if predStr == "" {
+			predStr = e.Outcome // ISS-trusted: the outcome is the prediction
+		}
+		pf := predStr != noEffect
+		if pf {
+			c.predFail++
+		}
+		switch e.Engine {
+		case "iss":
+			h.ISSExperiments++
+		case "rtl":
+			h.RTLExperiments++
+			c.rtl++
+		}
+		if e.Audited {
+			h.Audited++
+			c.audited++
+			mf := e.Outcome != noEffect
+			c.pred = append(c.pred, pf)
+			c.meas = append(c.meas, mf)
+			if mf {
+				c.measFail++
+			}
+			if pf != mf {
+				c.disag++
+				h.Disagreements++
+			}
+		}
+	}
+	if h.Audited > 0 {
+		h.DisagreementRate = float64(h.Disagreements) / float64(h.Audited)
+	}
+	for _, u := range order {
+		c := classes[u]
+		hc := HybridClass{
+			Unit:           u,
+			Experiments:    c.n,
+			RTLExperiments: c.rtl,
+			Audited:        c.audited,
+			Disagreements:  c.disag,
+			R2:             campaign.IndicatorR2(c.pred, c.meas),
+			PredictedPf:    float64(c.predFail) / float64(c.n),
+		}
+		hc.Escalated = escalateClass(c.pred, c.meas, req.Confidence)
+		if c.audited > 0 {
+			hc.AuditedPf = float64(c.measFail) / float64(c.audited)
+		}
+		h.Classes = append(h.Classes, hc)
+	}
+	if out.Injections > 0 {
+		u := float64(h.ISSExperiments) / float64(out.Injections)
+		_, dHi := stats.WilsonCI(h.Disagreements, h.Audited, stats.Z95)
+		h.CorrectedPfLow = math.Max(0, out.PfLow-dHi*u)
+		h.CorrectedPfHigh = math.Min(1, out.PfHigh+dHi*u)
+	}
+	return h
+}

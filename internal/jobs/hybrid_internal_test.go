@@ -1,0 +1,39 @@
+package jobs
+
+import "testing"
+
+// Table-driven router decision tests: the per-class escalation verdict
+// is the router's whole routing rule, shared verbatim between the
+// planner and the outcome accounting.
+func TestEscalateClass(t *testing.T) {
+	agree8 := make([]bool, 8)
+	for i := range agree8 {
+		agree8[i] = i%2 == 0
+	}
+	inverted := make([]bool, 8)
+	for i := range agree8 {
+		inverted[i] = !agree8[i]
+	}
+	uncorrelated := []bool{true, true, false, false}
+	cases := []struct {
+		name       string
+		pred, meas []bool
+		confidence float64
+		want       bool
+	}{
+		{"confident class trusted", agree8, agree8, 0.9, false},
+		{"uncorrelated class escalates", uncorrelated, []bool{true, false, true, false}, 0.9, true},
+		{"no audits escalates", nil, nil, 0.9, true},
+		{"one audit escalates even when agreeing", []bool{true}, []bool{true}, 0.9, true},
+		{"two agreeing audits suffice", []bool{true, false}, []bool{true, false}, 0.9, false},
+		{"zero confidence still distrusts zero R2", uncorrelated, []bool{true, false, true, false}, 0.1, true},
+		{"anticorrelated prediction has R2 1", agree8, inverted, 0.9, false},
+		{"perfect agreement at full confidence", agree8, agree8, 1.0, false},
+		{"one disagreement at full confidence", agree8, append(append([]bool{}, agree8[:7]...), !agree8[7]), 1.0, true},
+	}
+	for _, c := range cases {
+		if got := escalateClass(c.pred, c.meas, c.confidence); got != c.want {
+			t.Errorf("%s: escalateClass = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

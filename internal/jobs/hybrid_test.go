@@ -1,0 +1,226 @@
+package jobs_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// hybridSmall is a cheap real hybrid campaign: three permanent models
+// over a 12-node sample, with a high audit fraction so every class
+// collects a judgeable sample.
+var hybridSmall = jobs.Request{
+	Workload:         "excerptA",
+	Models:           []string{"sa0", "sa1", "open"},
+	Nodes:            12,
+	Seed:             3,
+	InjectAtFraction: 0.3,
+	Engine:           "hybrid",
+	RTLAudit:         0.5,
+}
+
+func TestHybridNormalize(t *testing.T) {
+	n, err := hybridSmall.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Engine != "hybrid" || n.RTLAudit != 0.5 || n.Confidence != 0.9 {
+		t.Fatalf("normalized hybrid = engine %q audit %v confidence %v", n.Engine, n.RTLAudit, n.Confidence)
+	}
+	// Defaults pinned under hybrid.
+	n2, err := jobs.Request{Workload: "excerptA", Engine: "hybrid"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.RTLAudit != 0.1 || n2.Confidence != 0.9 {
+		t.Fatalf("hybrid defaults = audit %v confidence %v, want 0.1/0.9", n2.RTLAudit, n2.Confidence)
+	}
+	// The audit sample is seed-keyed, so an exhaustive permanent hybrid
+	// campaign must keep its seed.
+	n3, err := jobs.Request{Workload: "excerptA", Engine: "hybrid", Seed: 7}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Seed != 7 {
+		t.Fatalf("hybrid normalization dropped the seed: %d", n3.Seed)
+	}
+	for _, bad := range []jobs.Request{
+		{Workload: "excerptA", Engine: "gatesim"},
+		{Workload: "excerptA", RTLAudit: 0.5},                     // audit without hybrid
+		{Workload: "excerptA", Engine: "iss", Confidence: 0.5},    // confidence without hybrid
+		{Workload: "excerptA", Engine: "hybrid", RTLAudit: -0.1},  // out of range
+		{Workload: "excerptA", Engine: "hybrid", Confidence: 1.5}, // out of range
+		{Workload: "excerptA", Engine: "hybrid", Epsilon: 0.01},   // adaptive + hybrid
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid request", bad)
+		}
+	}
+}
+
+// Auditing everything is a pure RTL campaign: the request must collapse
+// to the pure-RTL spelling — same content address, and therefore a
+// byte-identical outcome.
+func TestHybridFullAuditIsPureRTL(t *testing.T) {
+	full := hybridSmall
+	full.RTLAudit = 1.0
+	pure := hybridSmall
+	pure.Engine, pure.RTLAudit = "", 0
+
+	kf, err := full.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := pure.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf != kp {
+		t.Fatalf("rtl_audit=1.0 hybrid key %s != pure RTL key %s", kf, kp)
+	}
+
+	of, err := jobs.Execute(context.Background(), full, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := jobs.Execute(context.Background(), pure, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, of), encode(t, op)) {
+		t.Fatal("rtl_audit=1.0 hybrid outcome differs from pure RTL outcome")
+	}
+	if of.Hybrid != nil {
+		t.Fatal("collapsed full-audit campaign still carries hybrid accounting")
+	}
+}
+
+// The routing contract, end to end: every experiment's final engine is
+// consistent with the audit sample and the per-class escalation
+// verdicts reported in the outcome, and the hybrid accounting is
+// internally consistent with the experiments array.
+func TestHybridRoutingContract(t *testing.T) {
+	out, err := jobs.Execute(context.Background(), hybridSmall, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hybrid == nil {
+		t.Fatal("hybrid campaign without hybrid accounting")
+	}
+	h := out.Hybrid
+	if h.ISSExperiments+h.RTLExperiments != out.Injections {
+		t.Fatalf("engine partition %d+%d != %d injections", h.ISSExperiments, h.RTLExperiments, out.Injections)
+	}
+	escalated := map[string]bool{}
+	for _, c := range h.Classes {
+		escalated[c.Unit] = c.Escalated
+	}
+	iss, rtl, audited := 0, 0, 0
+	for i, e := range out.Experiments {
+		switch e.Engine {
+		case "iss":
+			iss++
+			if e.Audited || e.Predicted != "" {
+				t.Fatalf("experiment %d: ISS-trusted entry carries audit fields", i)
+			}
+			if escalated[e.Unit] {
+				t.Fatalf("experiment %d: ISS-trusted entry in escalated class %s", i, e.Unit)
+			}
+		case "rtl":
+			rtl++
+			if e.Predicted == "" {
+				t.Fatalf("experiment %d: RTL entry without its ISS prediction", i)
+			}
+			if e.Audited {
+				audited++
+			} else if !escalated[e.Unit] {
+				t.Fatalf("experiment %d: unaudited RTL entry in trusted class %s", i, e.Unit)
+			}
+		default:
+			t.Fatalf("experiment %d: engine %q", i, e.Engine)
+		}
+	}
+	if iss != h.ISSExperiments || rtl != h.RTLExperiments || audited != h.Audited {
+		t.Fatalf("accounting (%d,%d,%d) != recount (%d,%d,%d)",
+			h.ISSExperiments, h.RTLExperiments, h.Audited, iss, rtl, audited)
+	}
+	if h.Audited == 0 {
+		t.Fatal("audit fraction 0.5 selected nothing")
+	}
+	if h.CorrectedPfLow > out.PfLow || h.CorrectedPfHigh < out.PfHigh {
+		t.Fatalf("corrected interval [%v,%v] narrower than Wilson [%v,%v]",
+			h.CorrectedPfLow, h.CorrectedPfHigh, out.PfLow, out.PfHigh)
+	}
+}
+
+// Sharded hybrid campaigns must be byte-identical to unsharded ones:
+// the routing plan is a pure function of the request, the audit sample
+// of (seed, absolute index).
+func TestHybridShardedMatchesUnsharded(t *testing.T) {
+	ctx := context.Background()
+	un, err := jobs.Execute(ctx, hybridSmall, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := jobs.ExecuteSharded(ctx, hybridSmall, 3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, un), encode(t, sh)) {
+		t.Fatal("sharded hybrid outcome differs from unsharded")
+	}
+}
+
+// The pure ISS engine is a first-class backend: same expansion, its own
+// timebase, deterministic outcomes.
+func TestISSEngineExecute(t *testing.T) {
+	req := small
+	req.Engine = "iss"
+	out, err := jobs.Execute(context.Background(), req, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtlOut, err := jobs.Execute(context.Background(), small, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Injections != rtlOut.Injections {
+		t.Fatalf("ISS expansion %d != RTL expansion %d", out.Injections, rtlOut.Injections)
+	}
+	if out.Hybrid != nil {
+		t.Fatal("pure ISS campaign carries hybrid accounting")
+	}
+	if out.Request.Engine != "iss" {
+		t.Fatalf("outcome request engine = %q", out.Request.Engine)
+	}
+	for _, e := range out.Experiments {
+		if e.Engine != "" || e.Predicted != "" || e.Audited {
+			t.Fatal("single-engine campaign rows must not carry hybrid fields")
+		}
+	}
+	again, err := jobs.Execute(context.Background(), req, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, out), encode(t, again)) {
+		t.Fatal("ISS campaign not deterministic across worker counts")
+	}
+	// The engine participates in the content address.
+	ki, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := small.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki == kr {
+		t.Fatal("iss and rtl requests share a content address")
+	}
+	if !strings.Contains(string(encode(t, out)), `"engine": "iss"`) {
+		t.Fatal("outcome request encoding omits the engine")
+	}
+}

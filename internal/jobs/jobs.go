@@ -97,6 +97,28 @@ type Request struct {
 	// knobs, Epsilon changes the result's content, so it participates in
 	// the content address.
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Engine selects the simulation backend: "rtl" (default, normalized
+	// to the empty string so every pre-existing request keeps its content
+	// address), "iss" (the instruction-set simulator alone — cheap,
+	// predictive, not signal-accurate), or "hybrid" (the ISS-first
+	// router: predict everything on the ISS, audit a deterministic
+	// RTLAudit fraction on RTL, and re-run whole node classes whose
+	// audited prediction quality falls below Confidence). Unlike
+	// scheduling knobs the engine changes what the reported numbers
+	// mean — an ISS latency is in instructions, a hybrid Pf carries
+	// audit-corrected uncertainty — so it participates in the content
+	// address.
+	Engine string `json:"engine,omitempty"`
+	// RTLAudit is the hybrid router's audit fraction: the deterministic
+	// Bernoulli(RTLAudit) sample of experiments — keyed by (seed,
+	// absolute index) — that run on RTL regardless of class confidence.
+	// Zero selects the 0.1 default under engine "hybrid"; 1.0 audits
+	// everything, which is a pure RTL campaign and normalizes to one.
+	RTLAudit float64 `json:"rtl_audit,omitempty"`
+	// Confidence is the per-class R² threshold below which the hybrid
+	// router distrusts the ISS and re-runs the whole class on RTL. Zero
+	// selects the 0.9 default under engine "hybrid".
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // MaxIterations bounds a request's kernel iteration count. The largest
@@ -209,11 +231,55 @@ func (r Request) Normalize() (Request, error) {
 		// so a leftover cycle value must not fragment the cache key.
 		r.InjectAtCycle = 0
 	}
-	if r.Nodes == 0 && !hasTransient {
+	switch r.Engine {
+	case "", "rtl":
+		// "rtl" is the default spelled out; canonicalize to the empty
+		// string so pre-existing content addresses are untouched.
+		r.Engine = ""
+		if r.RTLAudit != 0 || r.Confidence != 0 {
+			return r, fmt.Errorf("jobs: rtl_audit/confidence require engine \"hybrid\"")
+		}
+	case "iss":
+		if r.RTLAudit != 0 || r.Confidence != 0 {
+			return r, fmt.Errorf("jobs: rtl_audit/confidence require engine \"hybrid\"")
+		}
+	case "hybrid":
+		if math.IsNaN(r.RTLAudit) || math.IsInf(r.RTLAudit, 0) || r.RTLAudit < 0 || r.RTLAudit > 1 {
+			return r, fmt.Errorf("jobs: rtl_audit %v outside [0,1]", r.RTLAudit)
+		}
+		if math.IsNaN(r.Confidence) || math.IsInf(r.Confidence, 0) || r.Confidence < 0 || r.Confidence > 1 {
+			return r, fmt.Errorf("jobs: confidence %v outside [0,1]", r.Confidence)
+		}
+		if r.Epsilon > 0 {
+			// Adaptive stopping is defined over a single sequential
+			// engine; the router's two-phase plan (predict all, then
+			// audit) has no meaningful completed-prefix to stop on.
+			return r, fmt.Errorf("jobs: epsilon requires engine \"rtl\" or \"iss\"")
+		}
+		if r.RTLAudit == 0 {
+			r.RTLAudit = 0.1
+		}
+		if r.Confidence == 0 {
+			r.Confidence = 0.9
+		}
+		if r.RTLAudit >= 1 {
+			// Auditing every experiment is by definition a pure RTL
+			// campaign: every final classification comes from the RTL
+			// engine. Collapse the spelling so the content address — and
+			// therefore the cached outcome — is byte-identical to the
+			// pure RTL request. This is also what pins the hybrid
+			// engine's -rtl-audit=1.0 contract.
+			r.Engine, r.RTLAudit, r.Confidence = "", 0, 0
+		}
+	default:
+		return r, fmt.Errorf("jobs: unknown engine %q (want rtl, iss or hybrid)", r.Engine)
+	}
+	if r.Nodes == 0 && !hasTransient && r.Engine != "hybrid" {
 		// Exhaustive permanent campaigns never consult the seed, so it
 		// must not fragment the cache key. Transient campaigns sample
 		// their injection cycles from the seed even when the node set is
-		// exhaustive, so there it stays.
+		// exhaustive, and the hybrid router draws its audit sample from
+		// it unconditionally, so in both those cases it stays.
 		r.Seed = 0
 	}
 	if !hasSET {
@@ -278,6 +344,22 @@ type ExperimentOutcome struct {
 	// releases. A pointer rather than omitempty-on-zero: an instant
 	// legitimately sampled at cycle 0 must still be emitted.
 	AtCycle *uint64 `json:"at_cycle,omitempty"`
+	// Engine marks which engine produced the final classification of a
+	// hybrid campaign's experiment: "iss" (trusted prediction) or "rtl"
+	// (audited or escalated). Omitted for single-engine campaigns, so
+	// their encodings are unchanged.
+	Engine string `json:"engine,omitempty"`
+	// Predicted is the ISS-predicted outcome of a hybrid experiment whose
+	// final classification came from the RTL engine. Together with
+	// Audited it makes every hybrid aggregate — per-class R², audit
+	// disagreement rate, corrected interval — recomputable from the
+	// experiments array alone, preserving the single-merge-path property
+	// shards rely on.
+	Predicted string `json:"predicted,omitempty"`
+	// Audited marks hybrid experiments in the deterministic RTL-audit
+	// sample (as opposed to class escalations, which also run on RTL but
+	// carry no fresh information about the router's calibration).
+	Audited bool `json:"audited,omitempty"`
 }
 
 // Outcome is the deterministic result encoding shared by the job service,
@@ -294,16 +376,19 @@ type Outcome struct {
 	// planned experiment count (Injections covers only completed ones).
 	// Both fields are omitted from campaigns that ran to completion, so
 	// the encoding of a full run is unchanged by their existence.
-	EarlyStopped     bool                `json:"early_stopped,omitempty"`
-	Requested        int                 `json:"requested,omitempty"`
-	Pf               float64             `json:"pf"`
-	PfLow            float64             `json:"pf_low"`
-	PfHigh           float64             `json:"pf_high"`
-	Failures         int                 `json:"failures"`
-	MaxLatencyCycles int64               `json:"max_latency_cycles"`
-	Outcomes         map[string]int      `json:"outcomes"`
-	PfByUnit         map[string]float64  `json:"pf_by_unit"`
-	Experiments      []ExperimentOutcome `json:"experiments"`
+	EarlyStopped     bool               `json:"early_stopped,omitempty"`
+	Requested        int                `json:"requested,omitempty"`
+	Pf               float64            `json:"pf"`
+	PfLow            float64            `json:"pf_low"`
+	PfHigh           float64            `json:"pf_high"`
+	Failures         int                `json:"failures"`
+	MaxLatencyCycles int64              `json:"max_latency_cycles"`
+	Outcomes         map[string]int     `json:"outcomes"`
+	PfByUnit         map[string]float64 `json:"pf_by_unit"`
+	// Hybrid carries the router's audit-disagreement accounting; present
+	// only for engine "hybrid" campaigns.
+	Hybrid      *HybridOutcome      `json:"hybrid,omitempty"`
+	Experiments []ExperimentOutcome `json:"experiments"`
 }
 
 // EncodeOutcome writes the canonical indented JSON encoding of an
@@ -384,6 +469,9 @@ func assembleOutcome(req Request, goldenCycles uint64, checkpointed bool, reques
 	for u, n := range unitTotal {
 		out.PfByUnit[u] = float64(unitFail[u]) / float64(n)
 	}
+	if req.Engine == "hybrid" {
+		out.Hybrid = hybridAccounting(req, out)
+	}
 	return out
 }
 
@@ -449,6 +537,18 @@ func runnerFor(ctx context.Context, n Request, reg *obs.Registry) (*fault.Runner
 	}
 }
 
+// engineFor resolves the campaign engine a normalized single-engine
+// request runs on: the RTL slab kernel by default, the ISS wrapper for
+// engine "iss" (in its native instruction timebase — instants in the
+// request are instruction indices there). Hybrid requests never come
+// here; their router drives both engines explicitly.
+func engineFor(ctx context.Context, n Request, reg *obs.Registry) (fault.CampaignEngine, error) {
+	if n.Engine == "iss" {
+		return issRunnerFor(ctx, n, reg, 0, 0)
+	}
+	return runnerFor(ctx, n, reg)
+}
+
 // experimentsFor returns the campaign's deterministic experiment
 // expansion: the sampled (or exhaustive) node set crossed with the
 // requested fault models, in canonical order, with every transient
@@ -457,7 +557,7 @@ func runnerFor(ctx context.Context, n Request, reg *obs.Registry) (*fault.Runner
 // identical list — instants included — which is what makes
 // experiment-index ranges a sound shard currency: scheduling happens on
 // the full list before any slicing, never per worker.
-func experimentsFor(r *fault.Runner, n Request) []fault.Experiment {
+func experimentsFor(r fault.CampaignEngine, n Request) []fault.Experiment {
 	nodes := r.Nodes(n.target())
 	if n.Nodes > 0 {
 		nodes = fault.SampleNodes(nodes, n.Nodes, n.Seed)
@@ -497,8 +597,11 @@ func ExecuteObs(ctx context.Context, req Request, workers int, tap Tap, reg *obs
 	if err != nil {
 		return nil, err
 	}
+	if n.Engine == "hybrid" {
+		return executeHybrid(ctx, n, workers, tap, reg)
+	}
 	endGolden := tr.Stage("golden")
-	r, err := runnerFor(ctx, n, reg)
+	r, err := engineFor(ctx, n, reg)
 	endGolden()
 	if err != nil {
 		return nil, err
@@ -543,7 +646,7 @@ func ExecuteObs(ctx context.Context, req Request, workers int, tap Tap, reg *obs
 			out = append(out, experimentOutcome(res))
 		}
 	}
-	return assembleOutcome(n, r.GoldenCycles, r.Checkpointed(), len(exps), out), nil
+	return assembleOutcome(n, r.GoldenTicks(), r.Checkpointed(), len(exps), out), nil
 }
 
 // ShardOutput is what one executed experiment-range shard reports back:
@@ -580,7 +683,10 @@ func ExecuteShardObs(ctx context.Context, req Request, start, end, workers int, 
 	if err != nil {
 		return nil, err
 	}
-	r, err := runnerFor(ctx, n, reg)
+	if n.Engine == "hybrid" {
+		return hybridShard(ctx, n, start, end, workers, tap, reg)
+	}
+	r, err := engineFor(ctx, n, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -604,7 +710,7 @@ func ExecuteShardObs(ctx context.Context, req Request, start, end, workers int, 
 		tap(done, len(slice), failures)
 		mu.Unlock()
 	}, nil)
-	so := &ShardOutput{GoldenCycles: r.GoldenCycles, Checkpointed: r.Checkpointed()}
+	so := &ShardOutput{GoldenCycles: r.GoldenTicks(), Checkpointed: r.Checkpointed()}
 	for i, res := range results {
 		if ran[i] {
 			so.Indices = append(so.Indices, start+i)

@@ -208,7 +208,7 @@ func newCoordinator(ctx context.Context, p *ShardPool, req Request, onProgress f
 	if err != nil {
 		return nil, err
 	}
-	r, err := runnerFor(ctx, n, p.opts.Obs)
+	r, err := engineFor(ctx, n, p.opts.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +217,7 @@ func newCoordinator(ctx context.Context, p *ShardPool, req Request, onProgress f
 		key:          key,
 		req:          n,
 		total:        total,
-		goldenCycles: r.GoldenCycles,
+		goldenCycles: r.GoldenTicks(),
 		checkpointed: r.Checkpointed(),
 		onProgress:   onProgress,
 		persist:      persist,
