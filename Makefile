@@ -12,7 +12,7 @@ GO ?= go
 # on dedicated hardware: BENCH_TOLERANCE=0.15 make bench-check.
 BENCH_TOLERANCE ?= 0.5
 
-.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke crash-smoke hybrid-smoke vet fmt-check staticcheck lint
+.PHONY: all build test bench bench-smoke bench-json bench-json-smoke bench-check serve-smoke shard-smoke crash-smoke hybrid-smoke fuzz-smoke vet fmt-check staticcheck reprolint lint
 
 all: build test
 
@@ -127,6 +127,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Short fuzz pass over the WAL replay path: arbitrary journal bytes must
+# never panic replay, and truncation to the longest valid prefix must be
+# idempotent (re-replaying the truncated file is clean and lossless).
+# 10s is a smoke, not a campaign; run longer locally with
+# `go test -fuzz FuzzJournalReplay -fuzztime 5m ./internal/store/`.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/store/
+
 # staticcheck is optional locally (the container may not ship it); CI
 # installs and runs it unconditionally via its action.
 staticcheck:
@@ -136,4 +145,11 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-lint: vet fmt-check staticcheck
+# The repo's own analyzers (internal/lint): determinism, content-address
+# stability, observability nil-safety, engine-construction seams. Zero
+# findings is the only passing state; audited exceptions live as
+# //lint:allow comments next to their justification, not here.
+reprolint:
+	$(GO) run ./cmd/reprolint ./...
+
+lint: vet fmt-check staticcheck reprolint

@@ -163,29 +163,34 @@ func MeasureDiversity(w *Workload) (Profile, error) {
 	return diversity.Measure(w.Name, w.Program, 100_000_000)
 }
 
-// CampaignSpec configures an RTL fault-injection campaign.
+// CampaignSpec configures an RTL fault-injection campaign. The json
+// tags declare the spec's stable schema — the field spellings mirror
+// the jobs.Request wire form that feeds the job service's sha256
+// content address, and addrlint (internal/lint) holds them frozen:
+// post-v1 fields are omitempty so a spec that predates them encodes to
+// the exact bytes it always did.
 type CampaignSpec struct {
 	// Target selects the injected unit hierarchy (IU or CMEM).
-	Target Target
+	Target Target `json:"target"`
 	// Models lists the permanent fault models to apply (default: all).
-	Models []FaultModel
+	Models []FaultModel `json:"models"`
 	// Nodes is the statistical sample size; 0 injects every node.
-	Nodes int
+	Nodes int `json:"nodes"`
 	// Seed makes sampling reproducible.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Workers bounds parallelism (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers"`
 	// InjectAtCycle is the fixed injection instant.
-	InjectAtCycle uint64
+	InjectAtCycle uint64 `json:"inject_at_cycle"`
 	// InjectAtFraction, when nonzero, positions the injection instant at
 	// this fraction of the golden run length (overrides InjectAtCycle).
 	// For transient models this is the start of the per-experiment
 	// injection-cycle sampling window (which extends to the end of the
 	// golden run).
-	InjectAtFraction float64
+	InjectAtFraction float64 `json:"inject_at_fraction"`
 	// PulseCycles is the SETPulse glitch width in cycles (0 = 1).
 	// Permanent models and BitFlip ignore it.
-	PulseCycles uint64
+	PulseCycles uint64 `json:"pulse_cycles,omitempty"`
 	// NoCheckpoint disables the checkpointed campaign engine. By default
 	// (false) the golden warm-up prefix up to the injection instant is
 	// simulated once, its full RTL state is frozen in a snapshot with a
@@ -193,7 +198,7 @@ type CampaignSpec struct {
 	// disabling re-simulates each experiment from reset, which produces
 	// identical results at a much higher cost and exists for debugging
 	// the engine itself.
-	NoCheckpoint bool
+	NoCheckpoint bool `json:"no_checkpoint"`
 	// NoBatch disables the bit-parallel (PPSFP) campaign engine. By
 	// default (false) a checkpointed campaign groups experiments that
 	// share an injection instant into batches of up to 64 fault
@@ -203,7 +208,7 @@ type CampaignSpec struct {
 	// produces identical results at a higher cost and exists for
 	// debugging and ablation. With NoCheckpoint set (or injection at
 	// reset) every experiment is scalar regardless.
-	NoBatch bool
+	NoBatch bool `json:"no_batch,omitempty"`
 }
 
 // CampaignResult aggregates an injection campaign.
@@ -233,7 +238,12 @@ type CampaignResult struct {
 
 // RunCampaign executes an RTL fault-injection campaign on a workload.
 func RunCampaign(w *Workload, spec CampaignSpec) (*CampaignResult, error) {
-	r, err := fault.NewRunner(w.Program, fault.Options{
+	// The synchronous one-shot API deliberately builds an unshared,
+	// unmemoized engine: callers hand in an already-built Workload (the
+	// registry seam keys on workload name + config, which this signature
+	// predates), and a one-shot run must not pin a slot in the bounded
+	// runner cache the job service depends on.
+	r, err := fault.NewRunner(w.Program, fault.Options{ //lint:allow seam audited one-shot public API build
 		InjectAtCycle:    spec.InjectAtCycle,
 		InjectAtFraction: spec.InjectAtFraction,
 		PulseCycles:      spec.PulseCycles,

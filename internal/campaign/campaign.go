@@ -572,20 +572,23 @@ func SimTime(o Options) (*SimTimeResult, error) {
 	mi := mem.NewMemory()
 	mi.LoadImage(w.Program.Origin, w.Program.Image)
 	cpu := iss.New(mem.NewBus(mi), w.Program.Entry)
-	t0 := time.Now()
+	// SimTime's deliverable IS wall-clock: it reproduces the paper's
+	// simulation-time table, and no measured duration feeds a campaign
+	// result or content address.
+	t0 := time.Now() //lint:allow det measured quantity of the SimTime table
 	if st := cpu.Run(100_000_000); st != iss.StatusExited {
 		return nil, fmt.Errorf("campaign: ISS timing run: %v", st)
 	}
-	issSec := time.Since(t0).Seconds()
+	issSec := time.Since(t0).Seconds() //lint:allow det measured quantity of the SimTime table
 
 	mr := mem.NewMemory()
 	mr.LoadImage(w.Program.Origin, w.Program.Image)
 	core := leon3.New(mem.NewBus(mr), w.Program.Entry)
-	t0 = time.Now()
+	t0 = time.Now() //lint:allow det measured quantity of the SimTime table
 	if st := core.Run(400_000_000); st != iss.StatusExited {
 		return nil, fmt.Errorf("campaign: RTL timing run: %v", st)
 	}
-	rtlSec := time.Since(t0).Seconds()
+	rtlSec := time.Since(t0).Seconds() //lint:allow det measured quantity of the SimTime table
 
 	nodes := core.K.Nodes("iu.")
 	cmem := core.K.Nodes("cmem.")
@@ -624,7 +627,10 @@ func checkpointSpeedup(o Options, w *workloads.Workload) (ckSec, resetSec float6
 		sample = o.Nodes
 	}
 	for _, noCkpt := range []bool{false, true} {
-		r, err := fault.NewRunner(w.Program, fault.Options{
+		// Deliberately unmemoized: this measures golden-run + campaign
+		// cost both ways, so a RunnerFor cache hit would time an empty
+		// build and overstate the speedup.
+		r, err := fault.NewRunner(w.Program, fault.Options{ //lint:allow seam audited one-shot timing build
 			InjectAtFraction: injectFraction,
 			NoCheckpoint:     noCkpt,
 			NoBatch:          o.NoBatch,
@@ -634,14 +640,14 @@ func checkpointSpeedup(o Options, w *workloads.Workload) (ckSec, resetSec float6
 		}
 		exps := fault.Expand(fault.SampleNodes(r.Nodes(fault.TargetIU), sample, o.Seed), rtl.StuckAt1)
 		r.PrepareCheckpoint() // capture outside the timed region
-		t0 := time.Now()
+		t0 := time.Now()      //lint:allow det measured quantity of the checkpoint-speedup row
 		if _, err := r.CampaignContext(o.ctx(), exps, o.Workers, nil); err != nil {
 			return 0, 0, err
 		}
 		if noCkpt {
-			resetSec = time.Since(t0).Seconds()
+			resetSec = time.Since(t0).Seconds() //lint:allow det measured quantity of the checkpoint-speedup row
 		} else {
-			ckSec = time.Since(t0).Seconds()
+			ckSec = time.Since(t0).Seconds() //lint:allow det measured quantity of the checkpoint-speedup row
 		}
 	}
 	return ckSec, resetSec, nil

@@ -246,7 +246,9 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 	unresolved := len(lanes)
 	var passStart time.Time
 	if r.met.live {
-		passStart = time.Now()
+		// Behind the live flag: an unregistered engine never reads the
+		// clock, and the value only feeds the golden-pass rate metric.
+		passStart = time.Now() //lint:allow det live-guarded golden-pass metric
 	}
 	for core.Status() == iss.StatusRunning {
 		t := core.Cycles()
@@ -288,7 +290,7 @@ func (r *Runner) runBatch(exps []Experiment, idxs []int) []Result {
 	w.Stop()
 	goldenEnd := core.Cycles()
 	if r.met.live {
-		r.met.goldenSeconds.Add(time.Since(passStart).Seconds())
+		r.met.goldenSeconds.Add(time.Since(passStart).Seconds()) //lint:allow det live-guarded golden-pass metric
 		r.met.goldenCycles.Add(float64(goldenEnd - start))
 	}
 

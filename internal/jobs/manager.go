@@ -327,7 +327,7 @@ func (m *Manager) Submit(req Request) (st Status, fresh bool, err error) {
 		id:       fmt.Sprintf("job-%06d", m.seq),
 		key:      key,
 		req:      n,
-		created:  time.Now().UTC(),
+		created:  time.Now().UTC(), //lint:allow det status-API timestamp, not result state
 		state:    StateQueued,
 		finished: make(chan struct{}),
 	}
@@ -361,7 +361,7 @@ func (m *Manager) installStoredLocked(key string, n Request, out *Outcome) *job 
 		id:       fmt.Sprintf("job-%06d", m.seq),
 		key:      key,
 		req:      n,
-		created:  time.Now().UTC(),
+		created:  time.Now().UTC(), //lint:allow det status-API timestamp, not result state
 		state:    StateDone,
 		result:   out,
 		finished: make(chan struct{}),
@@ -404,7 +404,7 @@ func (m *Manager) submitRecovered(rj *RecoveredJob) error {
 		id:       fmt.Sprintf("job-%06d", m.seq),
 		key:      key,
 		req:      n,
-		created:  time.Now().UTC(),
+		created:  time.Now().UTC(), //lint:allow det status-API timestamp, not result state
 		state:    StateQueued,
 		finished: make(chan struct{}),
 	}
@@ -608,7 +608,7 @@ func (m *Manager) worker() {
 		// job-finished log line below.
 		tr := obs.NewTracer(m.met.stageSeconds)
 		m.log.Info("job started", "job", j.id, "key", shortKey(j.key), "workload", j.req.Workload)
-		started := time.Now()
+		started := time.Now() //lint:allow det job-duration metric, observation only
 		out, err := m.exec(obs.WithTracer(ctx, tr), j.req, m.opts.CampaignWorkers, func(done, total, failures int) {
 			m.mu.Lock()
 			j.done, j.total, j.failures = done, total, failures
@@ -622,7 +622,7 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 		})
 		cancel()
-		dur := time.Since(started)
+		dur := time.Since(started) //lint:allow det job-duration metric, observation only
 		m.met.jobSeconds.Observe(dur.Seconds())
 
 		// Commit the outcome before the in-memory terminal transition

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -305,10 +306,12 @@ func (c *Coordinator) Lease(worker string) (*ShardLease, bool) {
 	l := &shardLease{
 		// The process-wide counter keeps lease ids unique even across two
 		// coordinators for the same campaign key (cancel + resubmit).
-		id:       fmt.Sprintf("%s-%d", c.key[:12], leaseCounter.Add(1)),
-		rng:      rng,
-		worker:   worker,
-		lastSeen: time.Now(),
+		id:     fmt.Sprintf("%s-%d", c.key[:12], leaseCounter.Add(1)),
+		rng:    rng,
+		worker: worker,
+		// Lease liveness is scheduling state, never result state: TTL
+		// reclaim decides who re-executes a range, not what it computes.
+		lastSeen: time.Now(), //lint:allow det lease keepalive timestamp
 	}
 	c.leases[l.id] = l
 	if c.persist != nil {
@@ -354,7 +357,7 @@ func (c *Coordinator) Progress(leaseID string, done, failures int) (cancel bool)
 		failures = done
 	}
 	l.tally = campaign.Tally{Done: done, Failures: failures}
-	l.lastSeen = time.Now()
+	l.lastSeen = time.Now() //lint:allow det lease keepalive timestamp
 	c.maybeStopLocked()
 	stop := c.stopped || c.done
 	t := c.tallyLocked()
@@ -475,22 +478,31 @@ func (c *Coordinator) requeueLocked(l *shardLease, msg string) {
 // reclaim indicts the worker, not the shard, and must not trip the
 // tight poison bound — only the loose maxShardReclaims backstop.
 func (c *Coordinator) reclaimStaleLocked(ttl time.Duration, now time.Time) (reclaimed int) {
-	for id, l := range c.leases {
+	var expired []*shardLease
+	for _, l := range c.leases {
 		if now.Sub(l.lastSeen) > ttl {
-			delete(c.leases, id)
-			reclaimed++
-			if c.stopped || c.done {
-				c.maybeFinishLocked()
-				continue
-			}
-			c.reclaims[l.rng.Index]++
-			if c.reclaims[l.rng.Index] >= maxShardReclaims {
-				c.fatalLocked(fmt.Errorf("jobs: shard %d reclaimed %d times (every worker died mid-shard)",
-					l.rng.Index, c.reclaims[l.rng.Index]))
-				return reclaimed
-			}
-			c.pending = append(c.pending, l.rng)
+			expired = append(expired, l)
 		}
+	}
+	// Requeue in ascending shard order: map iteration order would hand
+	// the reclaimed ranges back to workers in a different order every
+	// run, and reclaim behaviour — which shard trips the poison bound
+	// first, which range the next lease serves — should be reproducible.
+	sort.Slice(expired, func(i, j int) bool { return expired[i].rng.Index < expired[j].rng.Index })
+	for _, l := range expired {
+		delete(c.leases, l.id)
+		reclaimed++
+		if c.stopped || c.done {
+			c.maybeFinishLocked()
+			continue
+		}
+		c.reclaims[l.rng.Index]++
+		if c.reclaims[l.rng.Index] >= maxShardReclaims {
+			c.fatalLocked(fmt.Errorf("jobs: shard %d reclaimed %d times (every worker died mid-shard)",
+				l.rng.Index, c.reclaims[l.rng.Index]))
+			return reclaimed
+		}
+		c.pending = append(c.pending, l.rng)
 	}
 	return reclaimed
 }
@@ -848,7 +860,7 @@ func (p *ShardPool) Lease(worker string) (*ShardLease, bool) {
 	}
 	// No pending work anywhere: requeue shards whose workers went silent,
 	// then retry once.
-	now := time.Now()
+	now := time.Now() //lint:allow det lease-TTL reclaim clock, scheduling only
 	reclaimed := 0
 	for _, c := range active {
 		c.mu.Lock()

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detCritical lists the determinism-critical packages (by import-path
+// suffix): the packages whose code decides what a campaign computes.
+// Everything a shard re-executes, a content address hashes, or an
+// outcome encodes flows through them, so wall-clock reads, the global
+// math/rand source, and order-sensitive map iteration are all bugs
+// there unless a line-level audit says otherwise.
+var detCritical = []string{
+	"internal/fault",
+	"internal/rtl",
+	"internal/jobs",
+	"internal/campaign",
+}
+
+// DetAnalyzer (detlint) enforces the repo's first determinism rule:
+// inside the determinism-critical packages, results may depend only on
+// the request. It reports
+//
+//   - calls to time.Now / time.Since — wall-clock values must never
+//     reach result state (audited observability timing sites carry
+//     //lint:allow det);
+//   - calls to package-level math/rand functions — they draw from the
+//     shared process-wide source; deterministic code seeds its own
+//     rand.New(rand.NewSource(seed));
+//   - range statements over maps whose bodies feed order-sensitive
+//     sinks: appends to slices declared outside the loop, formatted
+//     output (fmt.Print*/Fprint*), writer/hash writes, or channel
+//     sends. Building another map, or accumulating commutatively into
+//     scalars, is fine; so is collecting keys that are sorted later in
+//     the same function.
+var DetAnalyzer = &Analyzer{
+	Name: "detlint",
+	Tag:  "det",
+	Doc: "forbid wall-clock reads, the global math/rand source, and order-sensitive\n" +
+		"map iteration inside the determinism-critical packages\n" +
+		"(internal/fault, internal/rtl, internal/jobs, internal/campaign)",
+	Run: runDetlint,
+}
+
+// seededRandOK lists the math/rand package-level functions that do not
+// touch the global source.
+var seededRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetlint(pass *Pass) error {
+	critical := false
+	for _, suffix := range detCritical {
+		if PathMatch(pass.Pkg.Path(), suffix) {
+			critical = true
+			break
+		}
+	}
+	if !critical {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			detlintFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func detlintFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeFrom(pass.TypesInfo, x, "time", "Now", "Since"); ok {
+				pass.Reportf(x.Pos(), "call to time.%s in determinism-critical package %s: wall-clock values must never influence campaign results (//lint:allow det for audited observability sites)", name, pass.Pkg.Name())
+			}
+			if f := calleeFunc(pass.TypesInfo, x); f != nil && f.Pkg() != nil &&
+				(f.Pkg().Path() == "math/rand" || f.Pkg().Path() == "math/rand/v2") &&
+				f.Type().(*types.Signature).Recv() == nil && !seededRandOK[f.Name()] {
+				pass.Reportf(x.Pos(), "global math/rand.%s draws from the process-wide source: deterministic code must seed its own rand.New(rand.NewSource(seed))", f.Name())
+			}
+		case *ast.RangeStmt:
+			detlintMapRange(pass, fn, x)
+		}
+		return true
+	})
+}
+
+// detlintMapRange flags a range-over-map whose body feeds an
+// order-sensitive sink.
+func detlintMapRange(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.TypesInfo, call.Fun, "append") || i >= len(x.Lhs) {
+					continue
+				}
+				root := rootIdent(x.Lhs[i])
+				if root == nil {
+					continue
+				}
+				obj := objectOf(pass.TypesInfo, root)
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue // loop-local accumulator: scoped to one iteration
+				}
+				if sortedInFunc(pass, fn, obj) {
+					continue // collect-then-sort is the sanctioned idiom
+				}
+				pass.Reportf(x.Pos(), "map iteration appends to %q declared outside the loop: map order is nondeterministic, so the slice's element order varies run to run — iterate sorted keys instead (//lint:allow det if the order provably never reaches an encoded result)", root.Name)
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(pass.TypesInfo, x); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+				switch f.Name() {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					pass.Reportf(x.Pos(), "map iteration writes formatted output via fmt.%s: output order follows nondeterministic map order — iterate sorted keys instead", f.Name())
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					switch sel.Sel.Name {
+					case "Write", "WriteString", "WriteByte", "WriteRune":
+						pass.Reportf(x.Pos(), "map iteration streams bytes via %s: a writer or hash absorbs values in nondeterministic map order — iterate sorted keys instead", sel.Sel.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "map iteration sends on a channel: the receiver observes values in nondeterministic map order — iterate sorted keys instead")
+		}
+		return true
+	})
+}
+
+// sortedInFunc reports whether the function contains a sort.* /
+// slices.Sort* call whose first argument roots at obj — the signal
+// that a slice appended under map iteration is order-normalized before
+// use.
+func sortedInFunc(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || len(call.Args) == 0 {
+			return !sorted
+		}
+		f := calleeFunc(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && objectOf(pass.TypesInfo, root) == obj {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

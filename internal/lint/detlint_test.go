@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestDetlint pins the determinism analyzer against its fixtures: the
+// critical-path package exercises every rule (clock reads, global
+// math/rand, map-iteration sinks) plus both escape-hatch placements,
+// and the non-critical package asserts the analyzer scopes itself to
+// the determinism-critical paths.
+func TestDetlint(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.DetAnalyzer,
+		"a/internal/fault",
+		"a/pkg/notcritical",
+	)
+}

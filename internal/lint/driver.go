@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The loader turns `go list -export -deps -json` output into
+// type-checked packages without golang.org/x/tools/go/packages: the
+// toolchain compiles (or reuses from the build cache) export data for
+// every dependency, stdlib included, and the stdlib gc importer reads
+// those files back through a lookup function. Only the packages the
+// patterns name are parsed from source — analyzers need their syntax —
+// while everything they import comes from export data, which is both
+// faster and immune to source-layout surprises. Test files are not
+// loaded: the determinism rules police library code; tests measure
+// wall-clocks and iterate maps freely.
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one source-parsed, type-checked package ready for
+// analysis.
+type LoadedPackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load resolves the go list patterns (e.g. "./...") to source-parsed,
+// type-checked packages, importing all dependencies from compiler
+// export data. Patterns resolve relative to dir ("" = cwd).
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var loaded []*LoadedPackage
+	for _, t := range targets {
+		lp, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through compiler export data files ("unsafe" is built in). linttest
+// shares it to resolve fixture imports of the standard library.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// checkPackage parses the named files and type-checks them as one
+// package, resolving imports through imp.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(fset, imp, path, files)
+}
+
+// CheckFiles type-checks already-parsed files as the package at path.
+// Type errors are hard errors: analysis over a broken package would
+// under-report, which for a gating linter is worse than failing loud.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*LoadedPackage, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	return &LoadedPackage{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Main is the multichecker entry point behind cmd/reprolint: load the
+// packages the patterns name, run every analyzer over every package,
+// print findings, and return the process exit code (0 clean, 1
+// findings, 2 driver failure).
+func Main(w io.Writer, patterns []string, analyzers ...*Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 2
+	}
+	var all []Diagnostic
+	for _, lp := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunAnalyzer(a, lp)
+			if err != nil {
+				fmt.Fprintln(w, err)
+				return 2
+			}
+			all = append(all, diags...)
+		}
+	}
+	sortDiagnostics(all)
+	for _, d := range all {
+		fmt.Fprintln(w, d)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(w, "reprolint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}

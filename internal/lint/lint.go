@@ -1,0 +1,246 @@
+// Package lint is the repo's static-analysis suite: four custom
+// analyzers (detlint, addrlint, obslint, seamlint) that mechanically
+// enforce the invariants every speedup since the pooled engine rests
+// on — determinism of campaign results, stability of request content
+// addresses, nil-safety of the observability seam, and construction of
+// engines only through the registry seams. cmd/reprolint is the
+// multichecker binary that runs them; `make lint` and CI gate on it.
+//
+// The package deliberately mirrors the core of golang.org/x/tools/
+// go/analysis — an Analyzer with a Run function over a Pass carrying
+// the package's syntax and type information, reporting Diagnostics —
+// but is built on the standard library alone (go/ast, go/types, and a
+// `go list -export` loader in driver.go), because the repo's toolchain
+// is hermetic: no module downloads. If the module ever grows an
+// x/tools dependency, each Run function ports over unchanged.
+//
+// # Escape hatches
+//
+// Every analyzer honours a line-scoped allow comment,
+//
+//	//lint:allow <tag> <justification>
+//
+// on the flagged line or the line directly above it, where <tag> is
+// the analyzer's Tag ("det", "addr", "obs", "seam"; comma-separate to
+// allow several). The hatch is a comment, not configuration, on
+// purpose: the justification lives in the diff next to the audited
+// site, reviewers see hatch and reason together, and a hatch cannot
+// silently widen to cover code it was never audited for — deleting
+// the site deletes its exemption.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass: a named rule with a
+// Run function that inspects a package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -help output.
+	Name string
+	// Doc is the one-paragraph description printed by reprolint -help.
+	Doc string
+	// Tag is the //lint:allow tag that exempts a line from this
+	// analyzer.
+	Tag string
+	// Run inspects one package. Diagnostics go through Pass.Reportf;
+	// a non-nil error aborts the whole reprolint run (driver failure,
+	// not a lint finding).
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package to an Analyzer's Run
+// function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	// allow maps "file:line" to the set of analyzer tags exempted on
+	// that line by //lint:allow comments.
+	allow map[string]map[string]bool
+}
+
+// A Diagnostic is one lint finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos unless an //lint:allow comment
+// for the analyzer's tag covers the line (or the line above — the
+// conventional spot for a hatch with a written justification).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if tags := p.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]; tags[p.Analyzer.Tag] {
+			return true
+		}
+	}
+	return false
+}
+
+// PathMatch reports whether an import path is, or ends with, the given
+// slash-separated suffix on a path-segment boundary. Analyzers scope
+// themselves with it ("internal/fault" matches repro/internal/fault and
+// a fixture's a/internal/fault, never a/notinternal/fault).
+func PathMatch(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// allowComments scans a file for //lint:allow comments and records the
+// exempted tags per line into the map keyed by "filename:line".
+func allowComments(fset *token.FileSet, f *ast.File, into map[string]map[string]bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if into[key] == nil {
+				into[key] = map[string]bool{}
+			}
+			for _, tag := range strings.Split(fields[0], ",") {
+				if tag = strings.TrimSpace(tag); tag != "" {
+					into[key][tag] = true
+				}
+			}
+		}
+	}
+}
+
+// RunAnalyzer executes one analyzer over one loaded package and
+// returns its findings, already filtered through the //lint:allow
+// escape hatches and sorted by position.
+func RunAnalyzer(a *Analyzer, lp *LoadedPackage) ([]Diagnostic, error) {
+	allow := map[string]map[string]bool{}
+	for _, f := range lp.Files {
+		allowComments(lp.Fset, f, allow)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.Info,
+		diags:     &diags,
+		allow:     allow,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, lp.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// funcFor returns the *types.Func an expression's callee resolves to,
+// or nil: the shared helper behind "is this a call to time.Now" style
+// questions. It sees through parentheses but deliberately not through
+// function-valued variables — assigning time.Now to a variable to dodge
+// the linter is exactly the kind of obfuscation review should catch.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeFrom reports whether call invokes a function named name from a
+// package whose import path matches pkgSuffix.
+func calleeFrom(info *types.Info, call *ast.CallExpr, pkgSuffix string, names ...string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || !PathMatch(f.Pkg().Path(), pkgSuffix) {
+		return "", false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// rootIdent returns the leftmost identifier of a (possibly selector /
+// index) expression: out in out, out.Field, out[i].Field.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,286 @@
+// Package linttest is the fixture harness for the repo's analyzers: the
+// hermetic counterpart of golang.org/x/tools/go/analysis/analysistest.
+// A test points it at testdata/src/<path> packages whose source carries
+// `// want "regexp"` comments on the lines where diagnostics are
+// expected; the harness type-checks the fixtures (fixture-local imports
+// from testdata, everything else from the toolchain's export data), runs
+// the analyzer, and fails the test on any unexpected or missing
+// diagnostic. //lint:allow escape hatches are honoured exactly as in
+// production, so fixtures also pin the hatch semantics.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return abs
+}
+
+// Run analyzes each fixture package under testdata/src/<pkgPath> with a
+// and compares the diagnostics against the fixtures' // want comments.
+// A package listed without any want comments asserts the analyzer stays
+// silent on it.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		diags, err := lint.RunAnalyzer(a, lp)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		compare(t, path, wants(t, lp), diags)
+	}
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// recursively and everything else through compiler export data.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*lint.LoadedPackage
+	loading map[string]bool
+	std     types.Importer
+}
+
+func newLoader(t *testing.T, src string) *loader {
+	t.Helper()
+	fset := token.NewFileSet()
+	exports, err := stdExports(src)
+	if err != nil {
+		t.Fatalf("linttest: resolving stdlib export data: %v", err)
+	}
+	return &loader{
+		src:     src,
+		fset:    fset,
+		pkgs:    map[string]*lint.LoadedPackage{},
+		loading: map[string]bool{},
+		std:     lint.ExportImporter(fset, exports),
+	}
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp.Pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*lint.LoadedPackage, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through fixture %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lp, err := lint.CheckFiles(l.fset, l, path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return names, nil
+}
+
+// stdExports maps every non-fixture import reachable from the fixture
+// tree to its compiler export data file, via one `go list -export`
+// invocation (which builds the export data if the cache is cold).
+func stdExports(src string) (map[string]string, error) {
+	external := map[string]bool{}
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if st, err := os.Stat(filepath.Join(src, filepath.FromSlash(p))); err != nil || !st.IsDir() {
+				external[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(external) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	for p := range external {
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+			Error      *struct{ Err string }
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// want is one expected diagnostic: a position and the regexp its
+// message must match.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wants extracts the `// want "re" ...` expectations from a fixture
+// package's comments.
+func wants(t *testing.T, lp *lint.LoadedPackage) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := lp.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				n := 0
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+					n++
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+				if n == 0 {
+					t.Fatalf("%s:%d: want comment with no patterns", pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// compare reconciles diagnostics against expectations.
+func compare(t *testing.T, pkg string, ws []*want, diags []lint.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range ws {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+	for _, w := range ws {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsAnalyzer (obslint) polices the observability seam's two contracts
+// inside internal/obs:
+//
+//  1. Nil-receiver safety. The whole design of the obs package is that
+//     a nil *Registry hands out nil handles whose methods do nothing,
+//     so the uninstrumented library path needs no conditionals and
+//     stays byte-identical to the instrumented one. Every exported
+//     pointer-receiver method on an exported type must therefore open
+//     with a nil-receiver guard (if x == nil { ... return }) — or use
+//     its receiver only to delegate to sibling methods, which are
+//     themselves checked.
+//
+//  2. No clock on the no-op path. time.Now / time.Since may only be
+//     called inside a method that already returned on the nil
+//     receiver: an unregistered handle must never pay for (or observe)
+//     a clock read. This is the package-local half of the engine-wide
+//     rule; inside the engine packages detlint forbids the clock
+//     outright and the live-guarded metric sites carry audited
+//     //lint:allow det hatches.
+var ObsAnalyzer = &Analyzer{
+	Name: "obslint",
+	Tag:  "obs",
+	Doc: "internal/obs handle methods must be nil-receiver-safe, and the clock\n" +
+		"(time.Now/Since) is reachable only behind a nil-receiver guard",
+	Run: runObslint,
+}
+
+func runObslint(pass *Pass) error {
+	if !PathMatch(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	// guarded collects the bodies of nil-guarded methods; the time rule
+	// accepts clock reads only inside them (closures included — a
+	// closure minted after the guard can only run on a live handle).
+	guarded := map[*ast.FuncDecl]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			recv, recvType := pointerRecv(pass, fn)
+			if recvType == nil || !recvType.Obj().Exported() {
+				continue
+			}
+			if recv != nil && hasNilGuard(pass, fn.Body, recv) {
+				guarded[fn] = true
+				continue
+			}
+			if !fn.Name.IsExported() {
+				continue
+			}
+			if recv == nil {
+				// An unnamed pointer receiver cannot be dereferenced, so the
+				// method is vacuously nil-safe.
+				continue
+			}
+			if delegatesOnly(pass, fn.Body, recv) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "method (*%s).%s is not nil-receiver-safe: a nil handle is the documented no-op seam, so the method must open with an `if %s == nil` guard or only delegate to sibling methods (//lint:allow obs with justification otherwise)", recvType.Obj().Name(), fn.Name.Name, recv.Name())
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || guarded[fn] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := calleeFrom(pass.TypesInfo, call, "time", "Now", "Since"); ok {
+					pass.Reportf(call.Pos(), "time.%s outside a nil-guarded handle method: the no-op observability path must never touch the clock — campaign results have to be byte-identical with and without a registry", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// pointerRecv returns the receiver variable and the named type behind a
+// pointer receiver, or nils.
+func pointerRecv(pass *Pass, fn *ast.FuncDecl) (*types.Var, *types.Named) {
+	if len(fn.Recv.List) != 1 {
+		return nil, nil
+	}
+	field := fn.Recv.List[0]
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return nil, nil
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return nil, named
+	}
+	v, _ := pass.TypesInfo.Defs[field.Names[0]].(*types.Var)
+	return v, named
+}
+
+// hasNilGuard reports whether the body's first statement is an if whose
+// condition checks recv == nil (possibly OR-ed with further checks, as
+// in `if c == nil || c.s == nil`).
+func hasNilGuard(pass *Pass, body *ast.BlockStmt, recv *types.Var) bool {
+	if len(body.List) == 0 {
+		return true // empty body is vacuously nil-safe
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		if be.Op.String() != "==" {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok || objectOf(pass.TypesInfo, id) != recv {
+				continue
+			}
+			if nid, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && nid.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// delegatesOnly reports whether every use of recv in the body is as the
+// receiver of a same-package method call (c.Add(1) inside Inc): such a
+// method is nil-safe iff its delegates are, and the delegates are
+// themselves under analysis.
+func delegatesOnly(pass *Pass, body *ast.BlockStmt, recv *types.Var) bool {
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || objectOf(pass.TypesInfo, id) != recv {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal {
+			return true
+		}
+		if f, ok := s.Obj().(*types.Func); ok && f.Pkg() == pass.Pkg {
+			safe[id] = true
+		}
+		return true
+	})
+	delegates := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !delegates {
+			return delegates
+		}
+		if objectOf(pass.TypesInfo, id) == recv && !safe[id] {
+			delegates = false
+		}
+		return delegates
+	})
+	return delegates
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestObslint pins the observability-seam analyzer: guarded methods,
+// delegation-only methods and guarded clock reads pass; an unguarded
+// dereference and a clock read outside any guard are flagged; the
+// //lint:allow obs hatch is honoured.
+func TestObslint(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.ObsAnalyzer,
+		"d/internal/obs",
+	)
+}

@@ -1,0 +1,90 @@
+// Package fault is a detlint fixture: its import path ends in
+// internal/fault, so it is determinism-critical.
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() time.Time {
+	start := time.Now() // want `call to time\.Now`
+	_ = start
+
+	_ = time.Since(start) // want `call to time\.Since`
+
+	_ = time.Unix(0, 0) // ok: converts a constant, reads no clock
+
+	allowed := time.Now() //lint:allow det audited observability site
+	return allowed
+}
+
+func hatchAbove() time.Time {
+	//lint:allow det audited observability site, hatch on the line above
+	return time.Now()
+}
+
+func randoms() int {
+	r := rand.New(rand.NewSource(42)) // ok: explicitly seeded source
+	n := r.Intn(10)
+
+	n += rand.Intn(10) // want `global math/rand\.Intn`
+
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle`
+
+	return n
+}
+
+func mapAppends(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to "out"`
+	}
+
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted before use below
+	}
+	sort.Strings(keys)
+
+	var hatch []string
+	for k := range m {
+		hatch = append(hatch, k) //lint:allow det order never reaches an encoding
+	}
+	_ = hatch
+
+	for k := range m {
+		local := []string{}
+		local = append(local, k) // ok: accumulator scoped to one iteration
+		_ = local
+	}
+	return out
+}
+
+func mapSinks(m map[string]int, w *bytes.Buffer, ch chan string) (int, map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `writes formatted output via fmt\.Println`
+	}
+
+	for k := range m {
+		w.WriteString(k) // want `streams bytes via WriteString`
+	}
+
+	for k := range m {
+		ch <- k // want `sends on a channel`
+	}
+
+	total := 0
+	for _, v := range m { // ok: commutative fold into a scalar
+		total += v
+	}
+
+	inverse := map[int]string{}
+	for k, v := range m { // ok: map-to-map rebuild, no order observed
+		inverse[v] = k
+	}
+	return total, inverse
+}

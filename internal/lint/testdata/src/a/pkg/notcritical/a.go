@@ -1,0 +1,18 @@
+// Package notcritical is a detlint negative fixture: its path is not
+// determinism-critical, so the analyzer must stay silent even on
+// patterns it would flag elsewhere.
+package notcritical
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timing(m map[string]int) ([]string, time.Time) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	_ = rand.Intn(10)
+	return out, time.Now()
+}

@@ -1,0 +1,15 @@
+// Package core is an addrlint fixture for the v1-field-removal rule:
+// CampaignSpec is missing the frozen "workers" field.
+package core
+
+type CampaignSpec struct { // want `v1 field "workers" of CampaignSpec is gone`
+	Target           int     `json:"target"`
+	Models           []int   `json:"models"`
+	Nodes            int     `json:"nodes"`
+	Seed             int64   `json:"seed"`
+	InjectAtCycle    uint64  `json:"inject_at_cycle"`
+	InjectAtFraction float64 `json:"inject_at_fraction"`
+	NoCheckpoint     bool    `json:"no_checkpoint"`
+	PulseCycles      uint64  `json:"pulse_cycles,omitempty"`
+	NoBatch          bool    `json:"no_batch,omitempty"`
+}

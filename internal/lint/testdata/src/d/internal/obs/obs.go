@@ -1,0 +1,53 @@
+// Package obs is an obslint fixture: handle types whose methods must
+// be nil-receiver-safe, and clock reads that are only legal behind the
+// nil guard.
+package obs
+
+import "time"
+
+// Counter is a metric handle; a nil *Counter must be a usable no-op.
+type Counter struct{ n int }
+
+// Inc delegates to Add, which carries the guard: nil-safe by
+// delegation.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add opens with the canonical compound guard.
+func (c *Counter) Add(v int) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.n += v
+}
+
+// Value dereferences the receiver with no guard.
+func (c *Counter) Value() int { // want `\(\*Counter\)\.Value is not nil-receiver-safe`
+	return c.n
+}
+
+// Timed reads the clock, legally: the nil receiver returned before the
+// clock was touched, closures included.
+func (c *Counter) Timed() func() float64 {
+	if c == nil {
+		return func() float64 { return 0 }
+	}
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// Audited carries the escape hatch instead of a guard.
+func (c *Counter) Audited() int { //lint:allow obs only reachable from live registries
+	return c.n
+}
+
+// reset is unexported: internal helpers run behind the public guards.
+func (c *Counter) reset() { c.n = 0 }
+
+// kind is unexported, so its methods are out of scope.
+type kind int
+
+func (k *kind) bump() { *k++ }
+
+func clockOutsideGuard() time.Time {
+	return time.Now() // want `time\.Now outside a nil-guarded handle method`
+}

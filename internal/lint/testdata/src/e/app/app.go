@@ -1,0 +1,23 @@
+// Package app is the seamlint fixture for code outside both the engine
+// package and the registries: every construction path is a finding.
+package app
+
+import "e/internal/fault"
+
+func builds() []interface{} {
+	a := fault.NewRunner(7) // want `direct fault\.NewRunner call`
+
+	b := fault.NewISSRunner(7) // want `direct fault\.NewISSRunner call`
+
+	c := fault.Runner{} // want `fault\.Runner composite literal`
+
+	d := &fault.ISSRunner{} // want `fault\.ISSRunner composite literal`
+
+	e := new(fault.Runner) // want `new\(fault\.Runner\) constructs an engine`
+
+	return []interface{}{a, b, c, d, e}
+}
+
+func audited() *fault.Runner {
+	return fault.NewRunner(3) //lint:allow seam audited one-shot ablation build
+}

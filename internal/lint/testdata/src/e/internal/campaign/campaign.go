@@ -1,0 +1,20 @@
+// Package campaign is the seamlint fixture's registry package: the
+// registry functions themselves may construct engines, anything else
+// may not.
+package campaign
+
+import "e/internal/fault"
+
+// RunnerFor is a registry seam: direct construction is its job.
+func RunnerFor(seed int64) *fault.Runner {
+	return fault.NewRunner(seed)
+}
+
+// ISSRunnerFor is the ISS registry seam.
+func ISSRunnerFor(seed int64) *fault.ISSRunner {
+	return fault.NewISSRunner(seed)
+}
+
+func rogue(seed int64) *fault.Runner {
+	return fault.NewRunner(seed) // want `direct fault\.NewRunner call`
+}

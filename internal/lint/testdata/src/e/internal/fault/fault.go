@@ -1,0 +1,13 @@
+// Package fault is the seamlint fixture's engine package: the analyzer
+// must stay silent here — the engine package builds its own internals.
+package fault
+
+// Runner is the fenced RTL engine type.
+type Runner struct{ Golden int }
+
+// ISSRunner is the fenced ISS engine type.
+type ISSRunner struct{ Golden int }
+
+func NewRunner(seed int64) *Runner { return &Runner{Golden: int(seed)} }
+
+func NewISSRunner(seed int64) *ISSRunner { return &ISSRunner{Golden: int(seed)} }

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+// frame encodes one record payload in the journal's on-disk framing.
+func frame(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload))
+}
+
+// FuzzJournalReplay feeds arbitrary bytes through the WAL replay path
+// and asserts its two crash-recovery contracts:
+//
+//  1. Replay never panics and never errors on in-memory input —
+//     arbitrary corruption (a torn tail, a bit flip, garbage) is
+//     always resolved to a longest valid prefix.
+//  2. Truncation to that prefix is idempotent: replaying data[:valid]
+//     reports the same records, the same valid length, and no torn
+//     tail. This is exactly what OpenJournal relies on when it
+//     truncates a torn file and reopens it after the next crash.
+//
+// The seed corpus covers the interesting frame shapes: valid records,
+// torn tails with and without trailing newlines, checksum mismatches,
+// short lines, and valid JSON behind a bad frame.
+func FuzzJournalReplay(f *testing.F) {
+	rec1 := frame([]byte(`{"seq":1,"type":"job.created","key":"k1"}`))
+	rec2 := frame([]byte(`{"seq":2,"type":"job.done","key":"k1","data":{"pf":0.5}}`))
+
+	f.Add([]byte{})
+	f.Add(rec1)
+	f.Add(append(append([]byte{}, rec1...), rec2...))
+	f.Add(append(append([]byte{}, rec1...), rec2[:len(rec2)-5]...)) // torn mid-record
+	f.Add(append(append([]byte{}, rec1...), "deadbeef {}\n"...))    // checksum mismatch
+	f.Add([]byte("00000000 \n"))                                    // frame too short
+	f.Add([]byte("not a journal at all"))
+	f.Add([]byte("zzzzzzzz {\"seq\":1}\n")) // non-hex checksum
+	corrupt := append([]byte{}, rec1...)
+	corrupt[len(corrupt)/2] ^= 0x40 // bit flip inside the payload
+	f.Add(append(corrupt, rec2...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, torn, err := replayAll(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("replayAll errored on in-memory input: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid offset %d out of range [0,%d]", valid, len(data))
+		}
+		if !torn && valid != int64(len(data)) {
+			t.Fatalf("no torn tail reported but valid=%d != len=%d", valid, len(data))
+		}
+
+		// Idempotence: replaying the valid prefix — what OpenJournal
+		// leaves on disk after truncation — must be a clean full replay
+		// of the same records.
+		recs2, valid2, torn2, err := replayAll(bytes.NewReader(data[:valid]))
+		if err != nil {
+			t.Fatalf("replay of valid prefix errored: %v", err)
+		}
+		if torn2 {
+			t.Fatalf("replay of valid prefix still reports a torn tail")
+		}
+		if valid2 != valid {
+			t.Fatalf("replay of valid prefix shrank it: %d -> %d", valid, valid2)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("replay of valid prefix lost records: %d -> %d", len(recs), len(recs2))
+		}
+		for i := range recs {
+			a, _ := json.Marshal(recs[i])
+			b, _ := json.Marshal(recs2[i])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("record %d changed across re-replay: %s vs %s", i, a, b)
+			}
+		}
+	})
+}
